@@ -1,0 +1,52 @@
+// Command fortify applies the §VII.A countermeasures — unified
+// sensitive-data masking, hardened email providers, and built-in
+// (push-based) authentication — and re-runs the ActFort measurement to
+// show the before/after collapse of the attack surface (experiment
+// E13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/actfort/actfort/internal/countermeasure"
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/report"
+	"github.com/actfort/actfort/internal/strategy"
+)
+
+func main() {
+	flag.Parse()
+	cat, err := dataset.Default()
+	if err != nil {
+		fatal(err)
+	}
+	out, err := countermeasure.Evaluate(cat)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title:   "E13 — ecosystem before/after the full §VII.A program",
+		Headers: []string{"metric", "before", "after"},
+	}
+	row := func(name string, before, after strategy.DepthStats, get func(strategy.DepthStats) int) {
+		t.AddRow(name,
+			fmt.Sprintf("%d (%s)", get(before), report.Pct(before.Pct(get(before)))),
+			fmt.Sprintf("%d (%s)", get(after), report.Pct(after.Pct(get(after)))))
+	}
+	row("web direct", out.WebBefore, out.WebAfter, func(s strategy.DepthStats) int { return s.Direct })
+	row("web one-middle", out.WebBefore, out.WebAfter, func(s strategy.DepthStats) int { return s.OneMiddle })
+	row("web uncompromisable", out.WebBefore, out.WebAfter, func(s strategy.DepthStats) int { return s.Uncompromisable })
+	row("mobile direct", out.MobileBefore, out.MobileAfter, func(s strategy.DepthStats) int { return s.Direct })
+	row("mobile uncompromisable", out.MobileBefore, out.MobileAfter, func(s strategy.DepthStats) int { return s.Uncompromisable })
+	fmt.Println(t)
+	fmt.Printf("forward-closure victims: %d/%d before -> %d/%d after\n",
+		out.VictimsBefore, out.Total, out.VictimsAfter, out.Total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fortify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command measure regenerates the paper's measurement artifacts from
+// the calibrated ecosystem: Fig 3 (credential-factor usage), Table I
+// (post-login exposure), the §IV.B.1 dependency-depth percentages, the
+// Fig 4 connection graph, and the per-domain breakdown.
+//
+// Usage:
+//
+//	measure [-fig3] [-table1] [-layers] [-fig4 out.dot] [-domains] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/actfort/actfort/internal/authproc"
+	"github.com/actfort/actfort/internal/collect"
+	"github.com/actfort/actfort/internal/core"
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/report"
+	"github.com/actfort/actfort/internal/strategy"
+)
+
+func main() {
+	var (
+		fig3    = flag.Bool("fig3", false, "print the Fig 3 authentication measurement")
+		table1  = flag.Bool("table1", false, "print Table I")
+		layers  = flag.Bool("layers", false, "print the dependency-depth percentages")
+		fig4    = flag.String("fig4", "", "write the 44-account connection graph as DOT to this file ('-' for stdout)")
+		domains = flag.Bool("domains", false, "print the per-domain breakdown")
+		all     = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+	if !*fig3 && !*table1 && !*layers && *fig4 == "" && !*domains {
+		*all = true
+	}
+
+	cat, err := dataset.Default()
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := core.New(cat, ecosys.BaselineAttacker())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *all || *fig3 {
+		web := authproc.Measure(cat, ecosys.PlatformWeb)
+		mob := authproc.Measure(cat, ecosys.PlatformMobile)
+		fmt.Println(report.Fig3(web, mob))
+		fmt.Printf("total services: %d, total paths: %d (paper: 201 / 405)\n\n",
+			cat.Len(), cat.TotalPaths())
+	}
+	if *all || *table1 {
+		web := collect.Measure(cat, ecosys.PlatformWeb)
+		mob := collect.Measure(cat, ecosys.PlatformMobile)
+		fmt.Println(report.Table1(web, mob))
+	}
+	if *all || *layers {
+		gw, err := engine.Graph(ecosys.PlatformWeb)
+		if err != nil {
+			fatal(err)
+		}
+		gm, err := engine.Graph(ecosys.PlatformMobile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.Layers(strategy.PathLayers(gw), strategy.PathLayers(gm)))
+	}
+	if *all || *domains {
+		m, err := engine.Measure()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.Domains(m.Domains))
+	}
+	if *fig4 != "" || *all {
+		g, err := dataset.Fig4Graph(cat, ecosys.BaselineAttacker())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Fig 4 — %d accounts: %d fringe (red), %d internal (blue), %d strong edges, %d weak edges\n",
+			g.Len(), len(g.FringeNodes()), len(g.InternalNodes()),
+			len(g.StrongEdges()), len(g.WeakEdges()))
+		switch *fig4 {
+		case "", "-":
+			if *fig4 == "-" {
+				if err := g.DOT(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		default:
+			f, err := os.Create(*fig4)
+			if err != nil {
+				fatal(err)
+			}
+			if err := g.DOT(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("DOT written to", *fig4)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "measure:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Mitm demonstrates the active attack of Fig 7/Fig 10: jam LTE, raise
+// a fake base station, catch the victim's IMSI, relay the
+// authentication to the captive SIM, reveal the MSISDN with a call,
+// and from then on receive the victim's SMS codes exclusively — the
+// victim's own phone stays silent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/mitm"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+func main() {
+	net := telecom.NewNetwork(telecom.Config{
+		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: 12},
+		Seed:     99,
+	})
+	cell, err := net.AddCell(telecom.Cell{
+		ID: "lbs-downtown", ARFCNs: []int{512}, Cipher: telecom.CipherA51, LTE: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim: an LTE handset, normally unreachable by GSM sniffing.
+	vicSub, err := net.Register("460007770001234", "+8613900004321")
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := net.NewTerminal(vicSub, telecom.RATLTE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.Attach(cell); err != nil {
+		log.Fatal(err)
+	}
+
+	// The attacker's own phone (receives the MSISDN-revealing call).
+	attSub, err := net.Register("460009990000001", "+8613811110000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := net.NewTerminal(attSub, telecom.RATGSM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attacker.Attach(cell); err != nil {
+		log.Fatal(err)
+	}
+
+	atk, err := mitm.New(net, victim, cell, attacker, mitm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := atk.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Fig 10 protocol timeline:")
+	for _, line := range res.Timeline() {
+		fmt.Println("  ", line)
+	}
+
+	// A bank now texts the victim a code; only the attacker sees it.
+	if _, err := net.SendSMS("Bank", res.VictimMSISDN, "Bank code 445566 for your transfer"); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := res.FVT.LastSMS()
+	fmt.Printf("\nattacker's FVT received: %q\n", got.Text)
+	fmt.Printf("victim's handset received %d messages (covert interception)\n", len(victim.Inbox()))
+
+	if err := atk.TearDown(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("jammer off; victim back on", victim.RAT())
+}

@@ -1,0 +1,52 @@
+// Quickstart: load the calibrated ecosystem, measure it, and ask
+// ActFort how an SMS-intercepting attacker reaches a hardened fintech
+// account.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/actfort/actfort"
+)
+
+func main() {
+	// The calibrated 201-service Online Account Ecosystem.
+	cat, err := actfort.DefaultCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := actfort.New(cat, actfort.BaselineAttacker())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ecosystem-wide measurement (the paper's §IV).
+	m, err := engine.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("services: %d, auth paths: %d (web %d / mobile %d)\n",
+		m.Services, m.Web.Paths+m.Mobile.Paths, m.Web.Paths, m.Mobile.Paths)
+	fmt.Printf("web accounts resettable with phone+SMS alone: %.2f%%\n",
+		m.WebLayers.Pct(m.WebLayers.Direct))
+
+	// How would the attacker reach Alipay's mobile app, which demands
+	// a citizen ID on top of the SMS code?
+	plan, err := engine.AttackPlan(actfort.Account("alipay", actfort.Mobile), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nchain reaction attack:", plan)
+	for i, step := range plan.Steps {
+		fmt.Printf("  %d. take over %s via path %s\n", i+1, step.Account, step.PathID)
+	}
+
+	// And what falls if nothing is done? The forward closure.
+	victims, err := engine.Victims(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nforward closure: %d accounts fall in %d rounds; %d survive\n",
+		victims.VictimCount(), len(victims.Rounds), len(victims.Survivors))
+}

@@ -1,0 +1,164 @@
+package a51
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// KeySpace describes the subspace the simulated network draws session
+// keys from: every key is Base with the low Bits bits free. Bits=64
+// (with Base=0) is the full space the real rainbow-table attack
+// covers; simulations use 12–24 bits so exhaustive search stands in
+// for the time-memory trade-off (see the package comment for why this
+// substitution preserves the attack structure).
+type KeySpace struct {
+	Base uint64
+	Bits int
+}
+
+// Size returns the number of keys in the space.
+func (s KeySpace) Size() uint64 {
+	if s.Bits >= 64 {
+		return 0 // 2^64 overflows; treat as "effectively unbounded"
+	}
+	return 1 << uint(s.Bits)
+}
+
+// Contains reports whether key is a member of the space.
+func (s KeySpace) Contains(key uint64) bool {
+	if s.Bits >= 64 {
+		return true
+	}
+	mask := uint64(1)<<uint(s.Bits) - 1
+	return key&^mask == s.Base&^mask
+}
+
+// Key materializes the i-th key of the space.
+func (s KeySpace) Key(i uint64) uint64 {
+	mask := uint64(1)<<uint(s.Bits) - 1
+	return (s.Base &^ mask) | (i & mask)
+}
+
+// ErrKeyNotFound reports that no key in the space reproduces the
+// observed keystream (wrong frame number, wrong space, or corrupted
+// capture).
+var ErrKeyNotFound = errors.New("a51: no key in space matches keystream")
+
+// ErrBadKeystream reports an unusably short keystream sample.
+var ErrBadKeystream = errors.New("a51: keystream sample too short")
+
+// minSampleBytes is the minimum known-keystream prefix needed to make
+// false positives negligible: 5 bytes = 40 bits, so a random wrong key
+// survives with probability 2^-40 per candidate.
+const minSampleBytes = 5
+
+// RecoverKey searches space for the session key that generates the
+// observed downlink keystream prefix for the given frame number.
+// keystream is the XOR of captured ciphertext with known plaintext —
+// exactly what a sniffer derives from predictable GSM system messages.
+func RecoverKey(keystream []byte, frame uint32, space KeySpace) (uint64, error) {
+	if len(keystream) < minSampleBytes {
+		return 0, ErrBadKeystream
+	}
+	n := space.Size()
+	if n == 0 {
+		return 0, errors.New("a51: key space too large for exhaustive search")
+	}
+	for i := uint64(0); i < n; i++ {
+		key := space.Key(i)
+		if matches(key, frame, keystream) {
+			return key, nil
+		}
+	}
+	return 0, ErrKeyNotFound
+}
+
+// RecoverKeyParallel is RecoverKey fanned out over workers goroutines
+// (default: GOMAXPROCS when workers <= 0). The first match cancels the
+// rest. ctx aborts the search early with ctx.Err().
+func RecoverKeyParallel(ctx context.Context, keystream []byte, frame uint32, space KeySpace, workers int) (uint64, error) {
+	if len(keystream) < minSampleBytes {
+		return 0, ErrBadKeystream
+	}
+	n := space.Size()
+	if n == 0 {
+		return 0, errors.New("a51: key space too large for exhaustive search")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if uint64(workers) > n {
+		workers = int(n)
+	}
+
+	searchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		found uint64
+		ok    bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Strided partition: worker w tries w, w+workers, ...
+			for i := uint64(w); i < n; i += uint64(workers) {
+				if i%1024 == 0 && searchCtx.Err() != nil {
+					return
+				}
+				key := space.Key(i)
+				if matches(key, frame, keystream) {
+					mu.Lock()
+					if !ok {
+						found, ok = key, true
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if ok {
+		return found, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return 0, ErrKeyNotFound
+}
+
+// matches reports whether key reproduces the keystream prefix.
+func matches(key uint64, frame uint32, keystream []byte) bool {
+	down, _ := New(key, frame).KeystreamBurst()
+	limit := len(keystream)
+	if limit > BurstBytes {
+		limit = BurstBytes
+	}
+	for i := 0; i < limit; i++ {
+		if down[i] != keystream[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeriveKeystream recovers keystream bytes from a ciphertext/plaintext
+// pair — the known-plaintext step. The slices must be equal length.
+func DeriveKeystream(ciphertext, plaintext []byte) ([]byte, error) {
+	if len(ciphertext) != len(plaintext) {
+		return nil, errors.New("a51: ciphertext/plaintext length mismatch")
+	}
+	out := make([]byte, len(ciphertext))
+	for i := range ciphertext {
+		out[i] = ciphertext[i] ^ plaintext[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/mitm"
+	"github.com/actfort/actfort/internal/socialdb"
+	"github.com/actfort/actfort/internal/strategy"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+func newScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioConfig{Seed: 42, KeyBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func ctxFor(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCaseIDirectWalletTakeover(t *testing.T) {
+	s := newScenario(t)
+	rep, err := s.RunCase(ctxFor(t), 1)
+	if err != nil {
+		t.Fatalf("%v (lines: %v)", err, rep)
+	}
+	if rep.Plan != "baidu-wallet/mobile" {
+		t.Errorf("plan = %q want direct", rep.Plan)
+	}
+	if rep.Receipt == "" || !strings.Contains(rep.Receipt, "baidu-wallet") {
+		t.Errorf("receipt = %q", rep.Receipt)
+	}
+	// Passive sniffing is observable: the victim got the code too.
+	if len(s.VictimTerminal.Inbox()) == 0 {
+		t.Error("victim inbox empty; passive interception should be observable")
+	}
+}
+
+func TestCaseIIPayPalViaGmail(t *testing.T) {
+	s := newScenario(t)
+	rep, err := s.RunCase(ctxFor(t), 2)
+	if err != nil {
+		t.Fatalf("%v (lines: %v)", err, rep)
+	}
+	if !strings.Contains(rep.Plan, "gmail") || !strings.Contains(rep.Plan, "paypal") {
+		t.Errorf("plan = %q; want gmail -> paypal", rep.Plan)
+	}
+	if !strings.Contains(rep.Receipt, "paypal") {
+		t.Errorf("receipt = %q", rep.Receipt)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "gmail") {
+		t.Errorf("transcript missing the gmail pivot:\n%s", joined)
+	}
+}
+
+func TestCaseIIIAlipayViaCtrip(t *testing.T) {
+	s := newScenario(t)
+	rep, err := s.RunCase(ctxFor(t), 3)
+	if err != nil {
+		t.Fatalf("%v (lines: %v)", err, rep)
+	}
+	if !strings.Contains(rep.Plan, "ctrip") || !strings.Contains(rep.Plan, "alipay") {
+		t.Errorf("plan = %q; want ctrip -> alipay", rep.Plan)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "payment code reset") {
+		t.Errorf("payment code was not reset:\n%s", joined)
+	}
+	if !strings.Contains(rep.Receipt, "alipay") {
+		t.Errorf("receipt = %q", rep.Receipt)
+	}
+}
+
+func TestUnknownCase(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.RunCase(ctxFor(t), 9); !errors.Is(err, ErrUnknownCase) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecutorFailsWithoutRequiredKnowledge(t *testing.T) {
+	s := newScenario(t)
+	// An executor whose dossier lacks the citizen ID and that cannot
+	// pivot (no plan executed) must fail cleanly on alipay.
+	exec, err := s.NewExecutor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = exec.executeStep(ctxFor(t), planStepFor("alipay", ecosys.PlatformMobile, "reset-cid"))
+	if !errors.Is(err, ErrMissingFactor) {
+		t.Errorf("err = %v want ErrMissingFactor", err)
+	}
+}
+
+func TestExecutorFailsOnUnlaunchedService(t *testing.T) {
+	s := newScenario(t)
+	exec, err := s.NewExecutor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = exec.executeStep(ctxFor(t), planStepFor("linkedin", ecosys.PlatformWeb, "reset-sms"))
+	if !errors.Is(err, ErrNotLaunched) {
+		t.Errorf("err = %v want ErrNotLaunched", err)
+	}
+}
+
+// The MitM variant of Case I: covert interception through the fake
+// victim terminal; the victim's handset stays silent.
+func TestCaseIOverMitM(t *testing.T) {
+	s := newScenario(t)
+	ctx := ctxFor(t)
+
+	// Attacker's own phone to receive the reveal call.
+	attSub, err := s.Net.Register("460009990000099", "+8613800000099")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attTerm, err := s.Net.NewTerminal(attSub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attTerm.Attach(s.Cell); err != nil {
+		t.Fatal(err)
+	}
+
+	atk, err := mitm.New(s.Net, s.VictimTerminal, s.Cell, attTerm, mitm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.VictimMSISDN != s.Victim.Persona.Phone {
+		t.Fatalf("MitM revealed %s want %s", mres.VictimMSISDN, s.Victim.Persona.Phone)
+	}
+
+	inboxBefore := len(s.VictimTerminal.Inbox())
+	exec := &Executor{
+		Platform:  s.Platform,
+		Intercept: &MitMInterceptor{FVT: mres.FVT},
+		Know:      NewKnowledge(mres.VictimMSISDN),
+	}
+	plan, err := s.PlanFor(ecosys.AccountID{Service: "baidu-wallet", Platform: ecosys.PlatformMobile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(ctx, plan)
+	if err != nil {
+		t.Fatalf("%v (transcript: %v)", err, res.Transcript())
+	}
+	if res.FinalToken == "" {
+		t.Fatal("no session on target")
+	}
+	// Covert: the victim received nothing during the attack.
+	if got := len(s.VictimTerminal.Inbox()); got != inboxBefore {
+		t.Errorf("victim inbox grew by %d; MitM should be silent", got-inboxBefore)
+	}
+}
+
+// Random-attack mode (§II): no prior knowledge beyond a phone number
+// harvested off phishing WiFi. The attacker still chains into a
+// Fintech account, picking up the identity information along the way.
+func TestRandomAttackFromPhishingWiFi(t *testing.T) {
+	s := newScenario(t)
+	ctx := ctxFor(t)
+
+	wifi := s.HarvestByPhishingWiFi("Free_Airport_WiFi")
+	exec, err := s.NewRandomExecutor(wifi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the dossier starts with nothing but the number.
+	if _, ok := exec.Know.Value(ecosys.InfoRealName); ok {
+		t.Fatal("random attacker should not know the victim's name upfront")
+	}
+
+	plan, err := s.PlanVia(ecosys.AccountID{Service: "alipay", Platform: ecosys.PlatformMobile}, "ctrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(ctx, plan)
+	if err != nil {
+		t.Fatalf("%v (transcript: %v)", err, res.Transcript())
+	}
+	if res.FinalToken == "" {
+		t.Fatal("no session on the fintech target")
+	}
+	// The chain itself supplied the identity data.
+	if _, ok := exec.Know.Value(ecosys.InfoCitizenID); !ok {
+		t.Error("citizen ID not harvested during the chain")
+	}
+
+	empty := socialdb.NewPhishingWiFi("quiet")
+	if _, err := s.NewRandomExecutor(empty); err == nil {
+		t.Error("empty harvest accepted")
+	}
+}
+
+// Knowledge unit behavior.
+func TestKnowledgeCombinesMaskedViews(t *testing.T) {
+	k := NewKnowledge("+8613800000001")
+	secret := "330106198811230417"
+	k.Ingest(ecosys.InfoCitizenID, secret[:6]+strings.Repeat("*", 12))
+	if _, ok := k.Value(ecosys.InfoCitizenID); ok {
+		t.Fatal("one view should not complete the value")
+	}
+	k.Ingest(ecosys.InfoCitizenID, strings.Repeat("*", 6)+secret[6:])
+	v, ok := k.Value(ecosys.InfoCitizenID)
+	if !ok || v != secret {
+		t.Fatalf("combined value = %q, %v", v, ok)
+	}
+	if got := len(k.Views(ecosys.InfoCitizenID)); got != 2 {
+		t.Errorf("views = %d", got)
+	}
+}
+
+func TestKnowledgeFactorValues(t *testing.T) {
+	k := NewKnowledge("+8613800000001")
+	if v, ok := k.FactorValue(ecosys.FactorCellphone); !ok || v != "+8613800000001" {
+		t.Errorf("cellphone = %q, %v", v, ok)
+	}
+	if _, ok := k.FactorValue(ecosys.FactorCitizenID); ok {
+		t.Error("unknown citizen ID resolved")
+	}
+	k.Ingest(ecosys.InfoAcquaintance, "Wang Wei, Li Na")
+	if v, ok := k.FactorValue(ecosys.FactorAcquaintance); !ok || v != "Wang Wei" {
+		t.Errorf("acquaintance = %q, %v", v, ok)
+	}
+	if _, ok := k.FactorValue(ecosys.FactorPassword); ok {
+		t.Error("password should never be sourceable")
+	}
+	k.Ingest(ecosys.InfoUserID, "")
+	if _, ok := k.Value(ecosys.InfoUserID); ok {
+		t.Error("empty ingest stored")
+	}
+}
+
+func planStepFor(service string, platform ecosys.Platform, pathID string) strategy.PlanStep {
+	return strategy.PlanStep{
+		Account: ecosys.AccountID{Service: service, Platform: platform},
+		PathID:  pathID,
+	}
+}

@@ -1,0 +1,200 @@
+// Package authproc implements ActFort's Authentication Process stage
+// (§III.B): validating recorded service specifications, constructing
+// the per-account authentication flow (the Fig 12 node structure),
+// and measuring credential-factor usage across the ecosystem — the
+// statistics behind Fig 3 and the path-class breakdown of §IV.B.1.
+package authproc
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/actfort/actfort/internal/ecosys"
+)
+
+// Stats aggregates authentication-path measurements for one platform.
+type Stats struct {
+	Platform ecosys.Platform
+	// Accounts is the number of service presences measured.
+	Accounts int
+	// Paths is the total number of authentication paths.
+	Paths int
+	// SMSOnlySignIn counts accounts with an SMS-only sign-in path.
+	SMSOnlySignIn int
+	// SMSOnlyReset counts accounts with an SMS-only reset path.
+	SMSOnlyReset int
+	// UsesSMSAnywhere counts accounts with any path involving SC.
+	UsesSMSAnywhere int
+	// ClassCounts tallies paths per class (general/info/unique).
+	ClassCounts map[ecosys.PathClass]int
+	// PurposeCounts tallies paths per purpose.
+	PurposeCounts map[ecosys.PathPurpose]int
+	// FactorUsage counts paths containing each factor.
+	FactorUsage map[ecosys.FactorKind]int
+}
+
+// Measure computes Stats over one platform of a catalog.
+func Measure(cat *ecosys.Catalog, platform ecosys.Platform) Stats {
+	st := Stats{
+		Platform:      platform,
+		ClassCounts:   make(map[ecosys.PathClass]int),
+		PurposeCounts: make(map[ecosys.PathPurpose]int),
+		FactorUsage:   make(map[ecosys.FactorKind]int),
+	}
+	for _, svc := range cat.Services() {
+		pr, ok := svc.Presence(platform)
+		if !ok {
+			continue
+		}
+		st.Accounts++
+		smsAnywhere := false
+		signinSMS, resetSMS := false, false
+		for _, p := range pr.Paths {
+			st.Paths++
+			st.ClassCounts[p.Class()]++
+			st.PurposeCounts[p.Purpose]++
+			seen := make(map[ecosys.FactorKind]bool, len(p.Factors))
+			for _, f := range p.Factors {
+				if !seen[f] {
+					seen[f] = true
+					st.FactorUsage[f]++
+				}
+				if f == ecosys.FactorSMSCode {
+					smsAnywhere = true
+				}
+			}
+			if p.SMSOnly() {
+				switch p.Purpose {
+				case ecosys.PurposeSignIn:
+					signinSMS = true
+				case ecosys.PurposeReset:
+					resetSMS = true
+				}
+			}
+		}
+		if smsAnywhere {
+			st.UsesSMSAnywhere++
+		}
+		if signinSMS {
+			st.SMSOnlySignIn++
+		}
+		if resetSMS {
+			st.SMSOnlyReset++
+		}
+	}
+	return st
+}
+
+// PctAccounts converts an account count to a percentage of accounts.
+func (s Stats) PctAccounts(n int) float64 {
+	if s.Accounts == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(s.Accounts)
+}
+
+// PctPaths converts a path count to a percentage of paths.
+func (s Stats) PctPaths(n int) float64 {
+	if s.Paths == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(s.Paths)
+}
+
+// ValidateCatalog checks specification hygiene: unique path IDs per
+// presence, non-empty factor lists, valid factor kinds, and binding /
+// email-provider references that resolve within the catalog. It
+// returns every violation found.
+func ValidateCatalog(cat *ecosys.Catalog) []error {
+	var errs []error
+	for _, svc := range cat.Services() {
+		if len(svc.Presences) == 0 {
+			errs = append(errs, fmt.Errorf("authproc: %s has no presences", svc.Name))
+		}
+		seenPlat := make(map[ecosys.Platform]bool)
+		for i := range svc.Presences {
+			pr := &svc.Presences[i]
+			acct := ecosys.AccountID{Service: svc.Name, Platform: pr.Platform}
+			if seenPlat[pr.Platform] {
+				errs = append(errs, fmt.Errorf("authproc: %s has duplicate platform %v", svc.Name, pr.Platform))
+			}
+			seenPlat[pr.Platform] = true
+			if len(pr.Paths) == 0 {
+				errs = append(errs, fmt.Errorf("authproc: %s has no authentication paths", acct))
+			}
+			ids := make(map[string]bool, len(pr.Paths))
+			for _, p := range pr.Paths {
+				if p.ID == "" {
+					errs = append(errs, fmt.Errorf("authproc: %s has a path with empty ID", acct))
+				}
+				if ids[p.ID] {
+					errs = append(errs, fmt.Errorf("authproc: %s has duplicate path ID %q", acct, p.ID))
+				}
+				ids[p.ID] = true
+				if len(p.Factors) == 0 {
+					errs = append(errs, fmt.Errorf("authproc: %s path %q has no factors", acct, p.ID))
+				}
+				for _, f := range p.Factors {
+					if !f.Valid() {
+						errs = append(errs, fmt.Errorf("authproc: %s path %q has invalid factor %d", acct, p.ID, f))
+					}
+				}
+			}
+			for _, e := range pr.Exposes {
+				if !e.Field.Valid() {
+					errs = append(errs, fmt.Errorf("authproc: %s exposes invalid field %d", acct, e.Field))
+				}
+			}
+			for _, b := range pr.BoundTo {
+				if _, ok := cat.ByName(b); !ok {
+					errs = append(errs, fmt.Errorf("authproc: %s bound to unknown service %q", acct, b))
+				}
+			}
+			if pr.EmailProvider != "" {
+				if _, ok := cat.ByName(pr.EmailProvider); !ok {
+					errs = append(errs, fmt.Errorf("authproc: %s has unknown email provider %q", acct, pr.EmailProvider))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// FlowTree renders the recursive authentication flow of one presence
+// in the top-down style of §III.B / Fig 12: the account at the root,
+// its paths one level down, and each path's factors as leaves,
+// annotated with how an attacker could source them.
+func FlowTree(name string, pr *ecosys.Presence) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s\n", name, pr.Platform)
+	for _, p := range pr.Paths {
+		fmt.Fprintf(&b, "├─ %s (%s, %s)\n", p.ID, p.Purpose, p.Class())
+		for i, f := range p.Factors {
+			branch := "│  ├─"
+			if i == len(p.Factors)-1 {
+				branch = "│  └─"
+			}
+			fmt.Fprintf(&b, "%s %s (%s)%s\n", branch, f, f.Short(), sourceHint(f, pr))
+		}
+	}
+	return b.String()
+}
+
+// sourceHint annotates a factor with the attacker's sourcing route.
+func sourceHint(f ecosys.FactorKind, pr *ecosys.Presence) string {
+	switch {
+	case f == ecosys.FactorSMSCode:
+		return " <- interceptable over GSM"
+	case f == ecosys.FactorCellphone:
+		return " <- attacker profile"
+	case (f == ecosys.FactorEmailCode || f == ecosys.FactorEmailLink) && pr.EmailProvider != "":
+		return " <- via " + pr.EmailProvider
+	case f == ecosys.FactorLinkedAccount && len(pr.BoundTo) > 0:
+		return " <- via " + strings.Join(pr.BoundTo, "/")
+	case f.Unphishable():
+		return " <- unphishable"
+	case f.IdentityLike():
+		return " <- harvestable info"
+	}
+	return ""
+}

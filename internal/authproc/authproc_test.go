@@ -1,0 +1,196 @@
+package authproc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/actfort/actfort/internal/ecosys"
+)
+
+func testCatalog(t *testing.T) *ecosys.Catalog {
+	t.Helper()
+	sc := ecosys.FactorSMSCode
+	pn := ecosys.FactorCellphone
+	specs := []*ecosys.ServiceSpec{
+		{
+			Name: "gmail", Domain: ecosys.DomainEmail,
+			Presences: []ecosys.Presence{{
+				Platform: ecosys.PlatformWeb,
+				Paths: []ecosys.AuthPath{
+					{ID: "signin-1", Purpose: ecosys.PurposeSignIn, Factors: []ecosys.FactorKind{ecosys.FactorPassword}},
+					{ID: "reset-1", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{pn, sc}},
+				},
+			}},
+		},
+		{
+			Name: "alipay", Domain: ecosys.DomainFintech,
+			Presences: []ecosys.Presence{
+				{
+					Platform: ecosys.PlatformWeb,
+					Paths: []ecosys.AuthPath{
+						{ID: "reset-1", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{sc, ecosys.FactorBankcard}},
+					},
+				},
+				{
+					Platform: ecosys.PlatformMobile,
+					Paths: []ecosys.AuthPath{
+						{ID: "signin-1", Purpose: ecosys.PurposeSignIn, Factors: []ecosys.FactorKind{pn, sc}},
+						{ID: "reset-2", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{sc, ecosys.FactorCitizenID}},
+						{ID: "unique-1", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorBiometric}},
+					},
+				},
+			},
+		},
+	}
+	return ecosys.MustCatalog(specs)
+}
+
+func TestMeasureWeb(t *testing.T) {
+	st := Measure(testCatalog(t), ecosys.PlatformWeb)
+	if st.Accounts != 2 || st.Paths != 3 {
+		t.Fatalf("accounts=%d paths=%d", st.Accounts, st.Paths)
+	}
+	if st.SMSOnlySignIn != 0 {
+		t.Errorf("SMSOnlySignIn = %d want 0", st.SMSOnlySignIn)
+	}
+	if st.SMSOnlyReset != 1 { // gmail reset is PN+SC
+		t.Errorf("SMSOnlyReset = %d want 1", st.SMSOnlyReset)
+	}
+	if st.UsesSMSAnywhere != 2 {
+		t.Errorf("UsesSMSAnywhere = %d want 2", st.UsesSMSAnywhere)
+	}
+	if st.ClassCounts[ecosys.ClassGeneral] != 2 || st.ClassCounts[ecosys.ClassInfo] != 1 {
+		t.Errorf("class counts = %v", st.ClassCounts)
+	}
+	if st.FactorUsage[ecosys.FactorSMSCode] != 2 {
+		t.Errorf("SC usage = %d want 2", st.FactorUsage[ecosys.FactorSMSCode])
+	}
+	if got := st.PctAccounts(st.SMSOnlyReset); got != 50 {
+		t.Errorf("PctAccounts = %.1f want 50", got)
+	}
+	if got := st.PctPaths(st.ClassCounts[ecosys.ClassGeneral]); got < 66 || got > 67 {
+		t.Errorf("PctPaths = %.1f want ~66.7", got)
+	}
+}
+
+func TestMeasureMobile(t *testing.T) {
+	st := Measure(testCatalog(t), ecosys.PlatformMobile)
+	if st.Accounts != 1 || st.Paths != 3 {
+		t.Fatalf("accounts=%d paths=%d", st.Accounts, st.Paths)
+	}
+	if st.SMSOnlySignIn != 1 {
+		t.Errorf("SMSOnlySignIn = %d want 1", st.SMSOnlySignIn)
+	}
+	if st.ClassCounts[ecosys.ClassUnique] != 1 {
+		t.Errorf("unique paths = %d want 1", st.ClassCounts[ecosys.ClassUnique])
+	}
+}
+
+func TestMeasureEmptyCatalog(t *testing.T) {
+	cat := ecosys.MustCatalog(nil)
+	st := Measure(cat, ecosys.PlatformWeb)
+	if st.PctAccounts(1) != 0 || st.PctPaths(1) != 0 {
+		t.Error("percentages of empty catalog should be 0")
+	}
+}
+
+func TestValidateCatalogClean(t *testing.T) {
+	if errs := ValidateCatalog(testCatalog(t)); len(errs) != 0 {
+		t.Fatalf("clean catalog produced errors: %v", errs)
+	}
+}
+
+func TestValidateCatalogViolations(t *testing.T) {
+	specs := []*ecosys.ServiceSpec{
+		{Name: "empty", Domain: ecosys.DomainNews},
+		{
+			Name: "bad", Domain: ecosys.DomainNews,
+			Presences: []ecosys.Presence{
+				{
+					Platform: ecosys.PlatformWeb,
+					Paths: []ecosys.AuthPath{
+						{ID: "", Purpose: ecosys.PurposeSignIn, Factors: nil},
+						{ID: "dup", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorKind(99)}},
+						{ID: "dup", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorSMSCode}},
+					},
+					Exposes:       []ecosys.Exposure{{Field: ecosys.InfoField(99)}},
+					BoundTo:       []string{"ghost"},
+					EmailProvider: "phantom",
+				},
+				{Platform: ecosys.PlatformWeb, Paths: []ecosys.AuthPath{{ID: "x", Purpose: ecosys.PurposeSignIn, Factors: []ecosys.FactorKind{ecosys.FactorPassword}}}},
+			},
+		},
+	}
+	errs := ValidateCatalog(ecosys.MustCatalog(specs))
+	wantSubstrings := []string{
+		"no presences", "empty ID", "no factors", "duplicate path ID",
+		"invalid factor", "invalid field", "unknown service", "unknown email provider",
+		"duplicate platform",
+	}
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(joined, want) {
+			t.Errorf("validation missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFlowTree(t *testing.T) {
+	cat := testCatalog(t)
+	svc, _ := cat.ByName("alipay")
+	pr, _ := svc.Presence(ecosys.PlatformMobile)
+	tree := FlowTree("alipay", pr)
+	for _, want := range []string{
+		"alipay/mobile", "signin-1", "reset-2", "citizen-id",
+		"interceptable over GSM", "harvestable info", "unphishable",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("FlowTree missing %q in:\n%s", want, tree)
+		}
+	}
+}
+
+func TestFlowTreeSourceHints(t *testing.T) {
+	pr := &ecosys.Presence{
+		Platform: ecosys.PlatformWeb,
+		Paths: []ecosys.AuthPath{
+			{ID: "r", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{
+				ecosys.FactorEmailCode, ecosys.FactorLinkedAccount, ecosys.FactorCellphone,
+			}},
+		},
+		BoundTo:       []string{"google"},
+		EmailProvider: "gmail",
+	}
+	tree := FlowTree("svc", pr)
+	if !strings.Contains(tree, "via gmail") || !strings.Contains(tree, "via google") ||
+		!strings.Contains(tree, "attacker profile") {
+		t.Errorf("source hints missing:\n%s", tree)
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	specs := make([]*ecosys.ServiceSpec, 0, 200)
+	for i := 0; i < 200; i++ {
+		specs = append(specs, &ecosys.ServiceSpec{
+			Name: "svc-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+i%10)),
+			Presences: []ecosys.Presence{{
+				Platform: ecosys.PlatformWeb,
+				Paths: []ecosys.AuthPath{
+					{ID: "r", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorCellphone, ecosys.FactorSMSCode}},
+				},
+			}},
+		})
+	}
+	cat, err := ecosys.NewCatalog(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Measure(cat, ecosys.PlatformWeb)
+	}
+}

@@ -1,0 +1,217 @@
+// Package core is ActFort itself: the systematic framework of §III
+// that wires the four pipeline stages of Fig 2 — Authentication
+// Process (authproc), Personal Information Collection (collect),
+// Transformation Dependency Graph Generation (tdg) and Strategy Output
+// (strategy) — behind one facade. Feed it a service catalog and an
+// attacker profile; query it for ecosystem measurements, attack plans
+// against specific targets, and forward-closure victim sets.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/actfort/actfort/internal/authproc"
+	"github.com/actfort/actfort/internal/collect"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/strategy"
+	"github.com/actfort/actfort/internal/tdg"
+)
+
+// ActFort is the analysis engine. Construct with New; all methods are
+// safe for concurrent use.
+type ActFort struct {
+	cat *ecosys.Catalog
+	ap  ecosys.AttackerProfile
+
+	mu     sync.Mutex
+	graphs map[string]*tdg.Graph
+}
+
+// ErrInvalidCatalog wraps specification-hygiene failures found at
+// construction.
+var ErrInvalidCatalog = errors.New("core: catalog failed validation")
+
+// New validates the catalog and returns an engine bound to the given
+// attacker profile (use ecosys.BaselineAttacker for the paper's
+// phone + SMS interception model).
+func New(cat *ecosys.Catalog, ap ecosys.AttackerProfile) (*ActFort, error) {
+	if cat == nil {
+		return nil, errors.New("core: nil catalog")
+	}
+	if errs := authproc.ValidateCatalog(cat); len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("%w:\n%s", ErrInvalidCatalog, strings.Join(msgs, "\n"))
+	}
+	return &ActFort{
+		cat:    cat,
+		ap:     ap.Clone(),
+		graphs: make(map[string]*tdg.Graph),
+	}, nil
+}
+
+// Catalog returns the analyzed catalog.
+func (a *ActFort) Catalog() *ecosys.Catalog { return a.cat }
+
+// Profile returns a copy of the attacker profile.
+func (a *ActFort) Profile() ecosys.AttackerProfile { return a.ap.Clone() }
+
+// Graph returns the Transformation Dependency Graph over the given
+// platforms (both when none given), building and caching it on first
+// use.
+func (a *ActFort) Graph(platforms ...ecosys.Platform) (*tdg.Graph, error) {
+	key := graphKey(platforms)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g, ok := a.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := tdg.Build(tdg.NodesFromCatalog(a.cat, platforms...), a.ap)
+	if err != nil {
+		return nil, err
+	}
+	a.graphs[key] = g
+	return g, nil
+}
+
+func graphKey(platforms []ecosys.Platform) string {
+	if len(platforms) == 0 {
+		return "all"
+	}
+	names := make([]string, 0, len(platforms))
+	for _, p := range platforms {
+		names = append(names, p.String())
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// AttackPlan runs the backward search of §III.E scenario 2: a minimal
+// Chain Reaction Attack plan reaching target, over the target
+// platform's graph combined with web (middle accounts may live on
+// either platform).
+func (a *ActFort) AttackPlan(target ecosys.AccountID, maxDepth int) (*strategy.Plan, error) {
+	g, err := a.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return strategy.FindPlan(g, target, maxDepth)
+}
+
+// AttackPlans enumerates up to limit distinct plans for target.
+func (a *ActFort) AttackPlans(target ecosys.AccountID, maxDepth, limit int) ([]*strategy.Plan, error) {
+	g, err := a.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return strategy.FindPlans(g, target, maxDepth, limit)
+}
+
+// Victims runs the forward closure of §III.E scenario 1: given
+// initially compromised accounts (may be empty — pure phone+SMS
+// attacker), every account that ultimately falls.
+func (a *ActFort) Victims(initial []ecosys.AccountID, platforms ...ecosys.Platform) (*strategy.ForwardResult, error) {
+	g, err := a.Graph(platforms...)
+	if err != nil {
+		return nil, err
+	}
+	return strategy.ForwardClosure(g, initial)
+}
+
+// DomainStats is the per-domain vulnerability breakdown behind the
+// "different domains have different levels of authentication" insight.
+type DomainStats struct {
+	Domain   ecosys.Domain
+	Accounts int
+	// Fringe counts accounts compromisable with phone + SMS alone.
+	Fringe int
+	// Compromisable counts accounts falling in the full closure.
+	Compromisable int
+}
+
+// Measurement is the complete ecosystem analysis: everything the
+// paper's §IV reports, computed from the catalog.
+type Measurement struct {
+	Services int
+	// Auth stats per platform (Fig 3 and path classes).
+	Web    authproc.Stats
+	Mobile authproc.Stats
+	// Exposure stats per platform (Table I).
+	WebExposure    collect.ExposureStats
+	MobileExposure collect.ExposureStats
+	// Dependency-depth stats per platform (§IV.B.1 percentages).
+	WebLayers    strategy.LayerStats
+	MobileLayers strategy.LayerStats
+	// Domains is the per-domain breakdown over both platforms, sorted
+	// by domain.
+	Domains []DomainStats
+}
+
+// Measure runs the full pipeline and aggregates every §IV statistic.
+func (a *ActFort) Measure() (*Measurement, error) {
+	m := &Measurement{
+		Services:       a.cat.Len(),
+		Web:            authproc.Measure(a.cat, ecosys.PlatformWeb),
+		Mobile:         authproc.Measure(a.cat, ecosys.PlatformMobile),
+		WebExposure:    collect.Measure(a.cat, ecosys.PlatformWeb),
+		MobileExposure: collect.Measure(a.cat, ecosys.PlatformMobile),
+	}
+	for _, platform := range ecosys.AllPlatforms() {
+		g, err := a.Graph(platform)
+		if err != nil {
+			return nil, err
+		}
+		res, err := strategy.ForwardClosure(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		st := strategy.Layers(res, g.Len())
+		if platform == ecosys.PlatformWeb {
+			m.WebLayers = st
+		} else {
+			m.MobileLayers = st
+		}
+	}
+
+	// Per-domain breakdown over the combined graph.
+	g, err := a.Graph()
+	if err != nil {
+		return nil, err
+	}
+	res, err := strategy.ForwardClosure(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	byDomain := make(map[ecosys.Domain]*DomainStats)
+	for _, id := range g.Nodes() {
+		node, _ := g.Node(id)
+		ds, ok := byDomain[node.Domain]
+		if !ok {
+			ds = &DomainStats{Domain: node.Domain}
+			byDomain[node.Domain] = ds
+		}
+		ds.Accounts++
+		if g.IsFringe(id) {
+			ds.Fringe++
+		}
+		if _, fell := res.Compromised[id]; fell {
+			ds.Compromisable++
+		}
+	}
+	for _, d := range ecosys.AllDomains() {
+		if ds, ok := byDomain[d]; ok {
+			m.Domains = append(m.Domains, *ds)
+		}
+	}
+	return m, nil
+}
+
+// TotalPaths reports the catalog's path count (the paper's "405
+// authentication paths in total").
+func (a *ActFort) TotalPaths() int { return a.cat.TotalPaths() }

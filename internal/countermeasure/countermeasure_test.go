@@ -1,0 +1,247 @@
+package countermeasure
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/mask"
+)
+
+// --- built-in authentication protocol (Fig 8) ---
+
+func TestPushFlowEndToEnd(t *testing.T) {
+	s := NewAuthServer()
+	dev, err := s.Register("+8613800000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID, err := s.LoginRequest("alipay", "+8613800000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts, err := dev.Prompts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prompts) != 1 || prompts[0].Service != "alipay" || prompts[0].RequestID != reqID {
+		t.Fatalf("prompts = %+v", prompts)
+	}
+	if err := dev.Authorize(s, reqID); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := s.Signal(reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.VerifySignal("alipay", "+8613800000001", sig) {
+		t.Fatal("valid signal rejected")
+	}
+	// One-time: replay fails.
+	if s.VerifySignal("alipay", "+8613800000001", sig) {
+		t.Fatal("signal replay accepted")
+	}
+}
+
+func TestSignalScoping(t *testing.T) {
+	s := NewAuthServer()
+	dev, _ := s.Register("+861")
+	reqID, _ := s.LoginRequest("gmail", "+861")
+	if err := dev.Authorize(s, reqID); err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := s.Signal(reqID)
+	if s.VerifySignal("paypal", "+861", sig) {
+		t.Error("signal accepted for wrong service")
+	}
+	if s.VerifySignal("gmail", "+862", sig) {
+		t.Error("signal accepted for wrong phone")
+	}
+	if !s.VerifySignal("gmail", "+861", sig) {
+		t.Error("correctly scoped signal rejected")
+	}
+}
+
+func TestUnauthorizedSignalRejected(t *testing.T) {
+	s := NewAuthServer()
+	if _, err := s.Register("+861"); err != nil {
+		t.Fatal(err)
+	}
+	reqID, _ := s.LoginRequest("gmail", "+861")
+	if _, err := s.Signal(reqID); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("unauthorized signal err = %v", err)
+	}
+	if _, err := s.Signal("bogus"); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("bogus request err = %v", err)
+	}
+}
+
+func TestDeviceBindingEnforced(t *testing.T) {
+	s := NewAuthServer()
+	devA, _ := s.Register("+861")
+	if _, err := s.Register("+861"); !errors.Is(err, ErrAlreadyRegister) {
+		t.Errorf("duplicate registration err = %v", err)
+	}
+	devB, _ := s.Register("+862")
+	reqID, _ := s.LoginRequest("gmail", "+861")
+	// The wrong device cannot authorize someone else's request.
+	if err := devB.Authorize(s, reqID); !errors.Is(err, ErrUnknownRequest) {
+		t.Errorf("foreign authorize err = %v", err)
+	}
+	if err := devA.Authorize(s, reqID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoginRequest("gmail", "+86999"); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("unknown device err = %v", err)
+	}
+}
+
+func TestPushTamperDetected(t *testing.T) {
+	s := NewAuthServer()
+	dev, _ := s.Register("+861")
+	if _, err := s.LoginRequest("gmail", "+861"); err != nil {
+		t.Fatal(err)
+	}
+	dev.mu.Lock()
+	dev.inbox[0].ct[0] ^= 0xFF // attacker flips ciphertext bits
+	dev.mu.Unlock()
+	if _, err := dev.Prompts(); !errors.Is(err, ErrTampered) {
+		t.Errorf("tampered push err = %v", err)
+	}
+}
+
+// --- policy rewriters ---
+
+func TestApplyUnifiedMasking(t *testing.T) {
+	cat := dataset.MustDefault()
+	std := mask.DefaultUnifiedStandard()
+	fortified, err := ApplyUnifiedMasking(cat, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range fortified.Services() {
+		for _, pr := range svc.Presences {
+			for _, e := range pr.Exposes {
+				if spec, governed := std.SpecFor(e.Field); governed && e.Mask != spec {
+					t.Fatalf("%s/%v exposes %v with non-standard mask %+v",
+						svc.Name, pr.Platform, e.Field, e.Mask)
+				}
+			}
+		}
+	}
+	// The original catalog is untouched (gome still asymmetric).
+	gome, _ := cat.ByName("gome")
+	gw, _ := gome.Presence(ecosys.PlatformWeb)
+	gm, _ := gome.Presence(ecosys.PlatformMobile)
+	ew, _ := gw.Exposure(ecosys.InfoCitizenID)
+	em, _ := gm.Exposure(ecosys.InfoCitizenID)
+	if ew.Mask == em.Mask {
+		t.Error("rewriter mutated the input catalog")
+	}
+}
+
+func TestUnifiedMaskingBlocksCombining(t *testing.T) {
+	cat := dataset.MustDefault()
+	fortified, err := ApplyUnifiedMasking(cat, mask.DefaultUnifiedStandard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before: gome's two views jointly reveal all 18 digits. After:
+	// both views show the same 2 characters.
+	secret := "330106198811230417"
+	views := func(c *ecosys.Catalog) []string {
+		gome, _ := c.ByName("gome")
+		var out []string
+		for _, pl := range ecosys.AllPlatforms() {
+			pr, _ := gome.Presence(pl)
+			e, _ := pr.Exposure(ecosys.InfoCitizenID)
+			out = append(out, mask.Apply(secret, e.Mask))
+		}
+		return out
+	}
+	if _, ok := mask.Complete(views(cat)...); !ok {
+		t.Error("baseline gome views should combine to the full ID")
+	}
+	if merged, ok := mask.Complete(views(fortified)...); ok {
+		t.Errorf("unified views still combined to %q", merged)
+	}
+}
+
+func TestHardenEmailProviders(t *testing.T) {
+	cat := dataset.MustDefault()
+	fortified, err := HardenEmailProviders(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range fortified.Services() {
+		if svc.Domain != ecosys.DomainEmail {
+			continue
+		}
+		for _, pr := range svc.Presences {
+			if pr.HasSMSOnlyPath() {
+				t.Errorf("%s/%v still has an SMS-only path after hardening", svc.Name, pr.Platform)
+			}
+		}
+	}
+	// Non-email services untouched.
+	ctrip, _ := fortified.ByName("ctrip")
+	pr, _ := ctrip.Presence(ecosys.PlatformWeb)
+	if !pr.HasSMSOnlyPath() {
+		t.Error("email hardening leaked into other domains")
+	}
+}
+
+func TestAdoptBuiltinAuth(t *testing.T) {
+	cat := dataset.MustDefault()
+	fortified, err := AdoptBuiltinAuth(cat, "gmail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmail, _ := fortified.ByName("gmail")
+	for _, pr := range gmail.Presences {
+		for _, p := range pr.Paths {
+			if p.Requires(ecosys.FactorSMSCode) {
+				t.Errorf("gmail/%v path %s still uses SMS", pr.Platform, p.ID)
+			}
+		}
+	}
+	// Unlisted services keep SMS.
+	ctrip, _ := fortified.ByName("ctrip")
+	pr, _ := ctrip.Presence(ecosys.PlatformWeb)
+	if !pr.HasSMSOnlyPath() {
+		t.Error("selective adoption rewrote unlisted service")
+	}
+	if _, err := AdoptBuiltinAuth(cat, "no-such-service"); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+// --- the E13 evaluation ---
+
+func TestEvaluateFortification(t *testing.T) {
+	cat := dataset.MustDefault()
+	out, err := Evaluate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WebBefore.Direct != 139 {
+		t.Errorf("baseline web direct = %d", out.WebBefore.Direct)
+	}
+	// Full adoption removes every SMS-only path: nothing is directly
+	// compromisable by the phone+SMS attacker.
+	if out.WebAfter.Direct != 0 {
+		t.Errorf("fortified web direct = %d want 0", out.WebAfter.Direct)
+	}
+	if out.MobileAfter.Direct != 0 {
+		t.Errorf("fortified mobile direct = %d want 0", out.MobileAfter.Direct)
+	}
+	// The chain reaction collapses: victims drop from ~all to zero
+	// (no fringe nodes means no initial foothold).
+	if out.VictimsBefore < out.Total*9/10 {
+		t.Errorf("baseline victims = %d/%d; expected >90%%", out.VictimsBefore, out.Total)
+	}
+	if out.VictimsAfter != 0 {
+		t.Errorf("fortified victims = %d want 0", out.VictimsAfter)
+	}
+}

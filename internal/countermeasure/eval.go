@@ -1,0 +1,72 @@
+package countermeasure
+
+import (
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/strategy"
+	"github.com/actfort/actfort/internal/tdg"
+)
+
+// Outcome compares the ecosystem before and after fortification: the
+// experiment behind E13.
+type Outcome struct {
+	// Depth stats per platform, before and after FortifyAll.
+	WebBefore, WebAfter       strategy.DepthStats
+	MobileBefore, MobileAfter strategy.DepthStats
+	// VictimsBefore/After count accounts falling to the full forward
+	// closure over both platforms.
+	VictimsBefore, VictimsAfter int
+	// Total is the combined account count.
+	Total int
+}
+
+// Evaluate runs the paper's measurement on cat and on FortifyAll(cat)
+// under the baseline phone+SMS attacker.
+func Evaluate(cat *ecosys.Catalog) (*Outcome, error) {
+	fortified, err := FortifyAll(cat)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{}
+
+	layers := func(c *ecosys.Catalog, platform ecosys.Platform) (strategy.DepthStats, error) {
+		g, err := tdg.Build(tdg.NodesFromCatalog(c, platform), ecosys.BaselineAttacker())
+		if err != nil {
+			return strategy.DepthStats{}, err
+		}
+		return strategy.PathLayers(g), nil
+	}
+	if out.WebBefore, err = layers(cat, ecosys.PlatformWeb); err != nil {
+		return nil, err
+	}
+	if out.WebAfter, err = layers(fortified, ecosys.PlatformWeb); err != nil {
+		return nil, err
+	}
+	if out.MobileBefore, err = layers(cat, ecosys.PlatformMobile); err != nil {
+		return nil, err
+	}
+	if out.MobileAfter, err = layers(fortified, ecosys.PlatformMobile); err != nil {
+		return nil, err
+	}
+
+	closureVictims := func(c *ecosys.Catalog) (int, int, error) {
+		g, err := tdg.Build(tdg.NodesFromCatalog(c), ecosys.BaselineAttacker())
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := strategy.ForwardClosure(g, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.VictimCount(), g.Len(), nil
+	}
+	before, total, err := closureVictims(cat)
+	if err != nil {
+		return nil, err
+	}
+	after, _, err := closureVictims(fortified)
+	if err != nil {
+		return nil, err
+	}
+	out.VictimsBefore, out.VictimsAfter, out.Total = before, after, total
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package countermeasure
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/attack"
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/email"
+	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/services"
+	"github.com/actfort/actfort/internal/sniffer"
+	"github.com/actfort/actfort/internal/strategy"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// The live E13 experiment: launch a FORTIFIED gmail on the service
+// platform with the built-in auth server wired in. The paper's Case II
+// first step (reset gmail with phone + intercepted SMS) must fail —
+// there is no SMS to intercept — while the legitimate user's push
+// flow succeeds.
+func TestLiveHardenedServiceResistsChainAttack(t *testing.T) {
+	baseline, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fortified, err := AdoptBuiltinAuth(baseline, "gmail")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Telecom world with an attached victim.
+	net := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 3})
+	cell, err := net.AddCell(telecom.Cell{ID: "c", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	persona := identity.NewGenerator(5).Persona(0)
+	sub, err := net.Register("imsi-v", persona.Phone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := net.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+
+	// OS auth server + the victim's registered device.
+	authServer := NewAuthServer()
+	device, err := authServer.Register(persona.Phone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	platform, err := services.NewPlatform(services.Config{
+		Catalog: fortified,
+		Net:     net,
+		Mail:    email.NewServer(),
+		Push:    authServer.VerifySignal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer platform.Close()
+	if _, err := platform.LaunchAll("gmail"); err != nil {
+		t.Fatal(err)
+	}
+	victim := services.User{Persona: persona, Password: "pw"}
+	if err := platform.Provision(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker rig: sniffer tuned, dossier with the phone number.
+	rig := sniffer.New(net, sniffer.Config{})
+	defer rig.Stop()
+	if err := rig.Tune(512); err != nil {
+		t.Fatal(err)
+	}
+	exec := &attack.Executor{
+		Platform:  platform,
+		Intercept: &attack.SnifferInterceptor{Sniffer: rig},
+		Know:      attack.NewKnowledge(persona.Phone),
+	}
+
+	// The old winning move: reset gmail via reset-sms. On the
+	// fortified catalog that path now demands the built-in push.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = exec.Execute(ctx, &strategy.Plan{
+		Target: ecosys.AccountID{Service: "gmail", Platform: ecosys.PlatformWeb},
+		Steps: []strategy.PlanStep{{
+			Account: ecosys.AccountID{Service: "gmail", Platform: ecosys.PlatformWeb},
+			PathID:  "reset-sms",
+		}},
+	})
+	if err == nil {
+		t.Fatal("chain attack succeeded against the fortified service")
+	}
+	if !errors.Is(err, attack.ErrMissingFactor) {
+		t.Fatalf("err = %v; want ErrMissingFactor (push unsourceable)", err)
+	}
+	// Nothing OTP-like crossed the air interface.
+	if st := rig.Stats(); st.MessagesDecoded != 0 {
+		t.Errorf("sniffer decoded %d messages; push must bypass GSM", st.MessagesDecoded)
+	}
+
+	// The legitimate user: run the Fig 8 flow and authenticate.
+	inst, _ := platform.Instance(ecosys.AccountID{Service: "gmail", Platform: ecosys.PlatformWeb})
+	reqID, err := authServer.LoginRequest("gmail", persona.Phone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := device.Authorize(authServer, reqID); err != nil {
+		t.Fatal(err)
+	}
+	signal, err := authServer.Signal(reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, token := authenticate(t, inst.URL(), persona.Phone, "reset-sms", map[string]string{
+		"cellphone-number": persona.Phone,
+		"builtin-push":     signal,
+	})
+	if status != http.StatusOK || token == "" {
+		t.Fatalf("legitimate push login failed: %d", status)
+	}
+	// The signal is one-time: replaying the same authentication fails.
+	status, _ = authenticate(t, inst.URL(), persona.Phone, "reset-sms", map[string]string{
+		"cellphone-number": persona.Phone,
+		"builtin-push":     signal,
+	})
+	if status != http.StatusForbidden {
+		t.Errorf("signal replay returned %d, want 403", status)
+	}
+}
+
+// authenticate is a minimal HTTP helper for the hardened-platform test.
+func authenticate(t *testing.T, baseURL, phone, path string, factors map[string]string) (int, string) {
+	t.Helper()
+	body := `{"phone":"` + phone + `","path":"` + path + `","factors":{`
+	first := true
+	for k, v := range factors {
+		if !first {
+			body += ","
+		}
+		first = false
+		body += `"` + k + `":"` + v + `"`
+	}
+	body += "}}"
+	resp, err := http.Post(baseURL+"/authenticate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Token string `json:"token"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		buf := make([]byte, 512)
+		n, _ := resp.Body.Read(buf)
+		s := string(buf[:n])
+		if i := strings.Index(s, `"token":"`); i >= 0 {
+			rest := s[i+len(`"token":"`):]
+			if j := strings.IndexByte(rest, '"'); j > 0 {
+				out.Token = rest[:j]
+			}
+		}
+	}
+	return resp.StatusCode, out.Token
+}

@@ -1,0 +1,128 @@
+package countermeasure
+
+import (
+	"fmt"
+
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/mask"
+)
+
+// The three §VII.A policies. Each rewriter returns a NEW catalog; the
+// input is never mutated, so before/after comparisons stay valid.
+
+// cloneSpecs deep-copies every service specification.
+func cloneSpecs(cat *ecosys.Catalog) []*ecosys.ServiceSpec {
+	out := make([]*ecosys.ServiceSpec, 0, cat.Len())
+	for _, svc := range cat.Services() {
+		cp := &ecosys.ServiceSpec{Name: svc.Name, Domain: svc.Domain}
+		for _, pr := range svc.Presences {
+			npr := ecosys.Presence{
+				Platform:      pr.Platform,
+				SignupMethods: append([]ecosys.SignupMethod(nil), pr.SignupMethods...),
+				Exposes:       append([]ecosys.Exposure(nil), pr.Exposes...),
+				BoundTo:       append([]string(nil), pr.BoundTo...),
+				EmailProvider: pr.EmailProvider,
+			}
+			for _, p := range pr.Paths {
+				npr.Paths = append(npr.Paths, ecosys.AuthPath{
+					ID: p.ID, Purpose: p.Purpose,
+					Factors: append([]ecosys.FactorKind(nil), p.Factors...),
+				})
+			}
+			cp.Presences = append(cp.Presences, npr)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// ApplyUnifiedMasking rewrites every citizen-ID and bankcard exposure
+// to the unified standard ("Cover unified digits on SSN and bankcard
+// numbers"): all services show the same window, so the combining
+// attack recovers nothing beyond a single view.
+func ApplyUnifiedMasking(cat *ecosys.Catalog, std mask.UnifiedStandard) (*ecosys.Catalog, error) {
+	specs := cloneSpecs(cat)
+	for _, svc := range specs {
+		for i := range svc.Presences {
+			pr := &svc.Presences[i]
+			for j := range pr.Exposes {
+				if spec, governed := std.SpecFor(pr.Exposes[j].Field); governed {
+					pr.Exposes[j].Mask = spec
+				}
+			}
+		}
+	}
+	return ecosys.NewCatalog(specs)
+}
+
+// HardenEmailProviders upgrades every email-domain presence ("Make
+// email service accounts more secure"): SMS-only takeover paths gain a
+// built-in-push confirmation, so a phone number plus an intercepted
+// code no longer resets the mailbox that gates the rest of the
+// ecosystem.
+func HardenEmailProviders(cat *ecosys.Catalog) (*ecosys.Catalog, error) {
+	specs := cloneSpecs(cat)
+	for _, svc := range specs {
+		if svc.Domain != ecosys.DomainEmail {
+			continue
+		}
+		for i := range svc.Presences {
+			pr := &svc.Presences[i]
+			for j := range pr.Paths {
+				p := &pr.Paths[j]
+				if p.Purpose != ecosys.PurposeSignIn && p.Purpose != ecosys.PurposeReset {
+					continue
+				}
+				if p.SMSOnly() {
+					p.Factors = append(p.Factors, ecosys.FactorBuiltinPush)
+				}
+			}
+		}
+	}
+	return ecosys.NewCatalog(specs)
+}
+
+// AdoptBuiltinAuth replaces SMS codes with the built-in push factor on
+// the named services (every service when names is empty) — the Fig 8
+// migration: authentication prompts stop traversing GSM entirely.
+func AdoptBuiltinAuth(cat *ecosys.Catalog, names ...string) (*ecosys.Catalog, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := cat.ByName(n); !ok {
+			return nil, fmt.Errorf("countermeasure: unknown service %q", n)
+		}
+		want[n] = true
+	}
+	specs := cloneSpecs(cat)
+	for _, svc := range specs {
+		if len(want) > 0 && !want[svc.Name] {
+			continue
+		}
+		for i := range svc.Presences {
+			pr := &svc.Presences[i]
+			for j := range pr.Paths {
+				p := &pr.Paths[j]
+				for k := range p.Factors {
+					if p.Factors[k] == ecosys.FactorSMSCode {
+						p.Factors[k] = ecosys.FactorBuiltinPush
+					}
+				}
+			}
+		}
+	}
+	return ecosys.NewCatalog(specs)
+}
+
+// FortifyAll applies the full §VII.A program: unified masking,
+// hardened email providers, and built-in authentication everywhere.
+func FortifyAll(cat *ecosys.Catalog) (*ecosys.Catalog, error) {
+	step1, err := ApplyUnifiedMasking(cat, mask.DefaultUnifiedStandard())
+	if err != nil {
+		return nil, err
+	}
+	step2, err := HardenEmailProviders(step1)
+	if err != nil {
+		return nil, err
+	}
+	return AdoptBuiltinAuth(step2)
+}

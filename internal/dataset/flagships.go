@@ -1,0 +1,289 @@
+package dataset
+
+import "github.com/actfort/actfort/internal/ecosys"
+
+// flagshipPlans are the hand-written services reproducing the paper's
+// named measurements and case studies. Exposure lists here are floors
+// that count toward the platform quotas; the generator tops the
+// catalog up to the exact Table I numbers with filler services.
+//
+// Notable reproductions:
+//   - gmail / netease-163 / outlook / aliyun-mail reset with SMS codes
+//     alone (§IV.B.1 "all of these accounts could be verified with
+//     only SMS Code").
+//   - paypal requires SMS + email code; its mailbox lives on gmail
+//     (Case II).
+//   - alipay: web wants bankcard + customer-service option, mobile
+//     wants citizen ID + SMS and has a face-scan option and a payment
+//     reset (Case III + the asymmetry insight).
+//   - ctrip / china-railway / xiaozhu expose (parts of) citizen IDs
+//     (§IV.B.1).
+//   - gome masks different citizen-ID halves on web vs mobile —
+//     combining recovers the whole number (insight 4, E12).
+//   - jd / linkedin expose device type and acquaintance info.
+//   - baidu-pan / dropbox are cloud stores exposing photo backups.
+//   - bank-secure / icloud / wechat carry unphishable-only paths (the
+//     "most robust nodes").
+func flagshipPlans() []servicePlan {
+	expose := func(fields ...ecosys.InfoField) []ecosys.Exposure {
+		out := make([]ecosys.Exposure, 0, len(fields))
+		for _, f := range fields {
+			out = append(out, ecosys.Exposure{Field: f, Mask: maskFor(f, 0)})
+		}
+		return out
+	}
+	exposeMasked := func(f ecosys.InfoField, m ecosys.MaskSpec) ecosys.Exposure {
+		return ecosys.Exposure{Field: f, Mask: m}
+	}
+
+	return []servicePlan{
+		// --- email providers: the ecosystem's gateway nodes ---
+		{
+			name: "gmail", domain: ecosys.DomainEmail,
+			web: &presencePlan{tmpl: tDirectBoth,
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoAcquaintance, ecosys.InfoChatHistory)},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoDeviceType)},
+		},
+		{
+			name: "outlook", domain: ecosys.DomainEmail,
+			web: &presencePlan{tmpl: tDirectBoth,
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoChatHistory)},
+		},
+		{
+			name: "netease-163", domain: ecosys.DomainEmail,
+			web: &presencePlan{tmpl: tDirectBoth,
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoAcquaintance)},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: expose(ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "aliyun-mail", domain: ecosys.DomainEmail,
+			web: &presencePlan{tmpl: tDirectBoth, expose: expose(ecosys.InfoEmailAddress)},
+		},
+
+		// --- fintech ---
+		{
+			name: "paypal", domain: ecosys.DomainFintech,
+			web: &presencePlan{tmpl: tMidEMC, emailProvider: "gmail",
+				expose: expose(ecosys.InfoRealName, ecosys.InfoEmailAddress)},
+			mobile: &presencePlan{tmpl: mMidEMC, emailProvider: "gmail",
+				expose: expose(ecosys.InfoRealName, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "alipay", domain: ecosys.DomainFintech,
+			web: &presencePlan{tmpl: tMidBN, extras: []extraKind{xOtherAS},
+				expose: []ecosys.Exposure{
+					{Field: ecosys.InfoRealName},
+					exposeMasked(ecosys.InfoBankcard, bankcardMasks[0]),
+				}},
+			mobile: &presencePlan{tmpl: mMidCID, extras: []extraKind{xPay, xUniqueBIO},
+				expose: []ecosys.Exposure{
+					{Field: ecosys.InfoRealName},
+					{Field: ecosys.InfoCellphone},
+					exposeMasked(ecosys.InfoBankcard, bankcardMasks[1]),
+				}},
+		},
+		{
+			name: "baidu-wallet", domain: ecosys.DomainFintech,
+			mobile: &presencePlan{tmpl: mDirect, // Case I: SMS one-time token logs straight in
+				expose: expose(ecosys.InfoRealName, ecosys.InfoCellphone, ecosys.InfoOrderHistory)},
+		},
+		{
+			name: "wechat-pay", domain: ecosys.DomainFintech,
+			mobile: &presencePlan{tmpl: mMidBN,
+				expose: []ecosys.Exposure{{Field: ecosys.InfoRealName}}},
+		},
+		{
+			name: "unionpay", domain: ecosys.DomainFintech,
+			web:    &presencePlan{tmpl: tCouple, expose: expose(ecosys.InfoRealName)},
+			mobile: &presencePlan{tmpl: mCouple, expose: expose(ecosys.InfoRealName)},
+		},
+		{
+			name: "bank-secure", domain: ecosys.DomainFintech,
+			web: &presencePlan{tmpl: tSecureU2F, expose: expose(ecosys.InfoRealName)},
+		},
+
+		// --- travel: the citizen-ID leaks of §IV.B.1 ---
+		{
+			name: "ctrip", domain: ecosys.DomainTravel,
+			web: &presencePlan{tmpl: tDirectSigninSMS,
+				expose: []ecosys.Exposure{
+					{Field: ecosys.InfoCitizenID}, // "gave the whole or vital part of citizen ID"
+					{Field: ecosys.InfoRealName},
+					{Field: ecosys.InfoCellphone},
+					{Field: ecosys.InfoAddress},
+				}},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: []ecosys.Exposure{
+					{Field: ecosys.InfoCitizenID},
+					{Field: ecosys.InfoRealName},
+					{Field: ecosys.InfoOrderHistory},
+				}},
+		},
+		{
+			name: "china-railway", domain: ecosys.DomainTravel,
+			web: &presencePlan{tmpl: tDirectSigninSMS, extras: []extraKind{xInfoCID},
+				expose: []ecosys.Exposure{
+					exposeMasked(ecosys.InfoCitizenID, citizenIDMasks[2]),
+					{Field: ecosys.InfoRealName},
+					{Field: ecosys.InfoStudentID},
+					{Field: ecosys.InfoAcquaintance},
+				}},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: []ecosys.Exposure{
+					exposeMasked(ecosys.InfoCitizenID, citizenIDMasks[2]),
+					{Field: ecosys.InfoRealName},
+				}},
+		},
+		{
+			name: "xiaozhu", domain: ecosys.DomainTravel,
+			web: &presencePlan{tmpl: tDirectSigninSMS,
+				expose: []ecosys.Exposure{{Field: ecosys.InfoCitizenID}, {Field: ecosys.InfoAddress}}},
+		},
+		{
+			name: "expedia", domain: ecosys.DomainTravel,
+			web: &presencePlan{tmpl: tMidLNK, boundTo: []string{"gmail"},
+				expose: expose(ecosys.InfoOrderHistory, ecosys.InfoAddress)},
+		},
+
+		// --- e-commerce ---
+		{
+			name: "jd", domain: ecosys.DomainECommerce,
+			web: &presencePlan{tmpl: tDirectSigninSMS, extras: []extraKind{xUniqueBIO},
+				expose: expose(ecosys.InfoDeviceType, ecosys.InfoAcquaintance, ecosys.InfoAddress, ecosys.InfoOrderHistory)},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: expose(ecosys.InfoDeviceType, ecosys.InfoAcquaintance, ecosys.InfoOrderHistory)},
+		},
+		{
+			name: "taobao", domain: ecosys.DomainECommerce,
+			web:    &presencePlan{tmpl: tDirectBoth, extras: []extraKind{xUniqueBIO}, expose: expose(ecosys.InfoAddress, ecosys.InfoOrderHistory)},
+			mobile: &presencePlan{tmpl: mDirect, extras: []extraKind{xUniqueBIO}, expose: expose(ecosys.InfoAddress, ecosys.InfoOrderHistory)},
+		},
+		{
+			name: "gome", domain: ecosys.DomainECommerce,
+			// The web/mobile masking asymmetry: web shows the first 6
+			// digits, mobile shows the last 12 — combined, all 18.
+			web: &presencePlan{tmpl: tDirectResetSMS,
+				expose: []ecosys.Exposure{exposeMasked(ecosys.InfoCitizenID, citizenIDMasks[0])}},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: []ecosys.Exposure{exposeMasked(ecosys.InfoCitizenID, citizenIDMasks[4])}},
+		},
+		{
+			name:   "pinduoduo",
+			domain: ecosys.DomainECommerce,
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoAddress, ecosys.InfoOrderHistory)},
+		},
+
+		// --- social ---
+		{
+			name: "facebook", domain: ecosys.DomainSocial,
+			web: &presencePlan{tmpl: tDirectBoth, extras: []extraKind{xGeneralEMC}, emailProvider: "gmail",
+				expose: expose(ecosys.InfoRealName, ecosys.InfoAcquaintance, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "google", domain: ecosys.DomainSocial,
+			web: &presencePlan{tmpl: tDirectResetSMS, // Case II: phone number resets the account
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoDeviceType, ecosys.InfoAcquaintance)},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: expose(ecosys.InfoEmailAddress, ecosys.InfoDeviceType)},
+		},
+		{
+			name: "linkedin", domain: ecosys.DomainSocial,
+			web: &presencePlan{tmpl: tDirectResetSMS,
+				expose: expose(ecosys.InfoRealName, ecosys.InfoAcquaintance, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "weibo", domain: ecosys.DomainSocial,
+			web:    &presencePlan{tmpl: tDirectSigninSMS, expose: expose(ecosys.InfoUserID, ecosys.InfoAcquaintance)},
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoUserID, ecosys.InfoAcquaintance)},
+		},
+		{
+			name: "qq", domain: ecosys.DomainSocial,
+			web:    &presencePlan{tmpl: tDirectBoth, expose: expose(ecosys.InfoUserID, ecosys.InfoAcquaintance, ecosys.InfoChatHistory)},
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoUserID, ecosys.InfoChatHistory)},
+		},
+		{
+			name: "wechat", domain: ecosys.DomainSocial,
+			// The hardened messenger: device binding + biometrics.
+			mobile: &presencePlan{tmpl: mSecure, expose: expose(ecosys.InfoUserID, ecosys.InfoChatHistory)},
+		},
+
+		// --- cloud storage: photo backups leak ID scans ---
+		{
+			name: "baidu-pan", domain: ecosys.DomainCloud,
+			web: &presencePlan{tmpl: tDirectResetSMS, extras: []extraKind{xGeneralEMC}, emailProvider: "netease-163",
+				expose: expose(ecosys.InfoPhotos, ecosys.InfoCellphone)},
+			mobile: &presencePlan{tmpl: mDirect,
+				expose: expose(ecosys.InfoPhotos)},
+		},
+		{
+			name: "dropbox", domain: ecosys.DomainCloud,
+			web: &presencePlan{tmpl: tMidEMC, emailProvider: "gmail",
+				expose: expose(ecosys.InfoPhotos, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "icloud", domain: ecosys.DomainCloud,
+			web: &presencePlan{tmpl: tSecureBIO, expose: expose(ecosys.InfoDeviceType)},
+		},
+
+		// --- streaming / gaming / news / education / health ---
+		{
+			name: "youku", domain: ecosys.DomainStreaming,
+			web:    &presencePlan{tmpl: tDirectSigninSMS, expose: expose(ecosys.InfoUserID)},
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoUserID)},
+		},
+		{
+			name: "bilibili", domain: ecosys.DomainStreaming,
+			web:    &presencePlan{tmpl: tDirectResetSMS, expose: expose(ecosys.InfoUserID)},
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoUserID)},
+		},
+		{
+			name: "steam", domain: ecosys.DomainGaming,
+			web: &presencePlan{tmpl: tMidEMC, emailProvider: "outlook",
+				expose: expose(ecosys.InfoUserID, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "netease-games", domain: ecosys.DomainGaming,
+			web:    &presencePlan{tmpl: tDirectResetSMS, expose: expose(ecosys.InfoUserID)},
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoUserID)},
+		},
+		{
+			name: "toutiao", domain: ecosys.DomainNews,
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoDeviceType)},
+		},
+		{
+			name: "sina-news", domain: ecosys.DomainNews,
+			web: &presencePlan{tmpl: tDirectSigninSMS, expose: expose(ecosys.InfoUserID)},
+		},
+		{
+			name: "coursera", domain: ecosys.DomainEducation,
+			web: &presencePlan{tmpl: tDirectResetSMS, expose: expose(ecosys.InfoRealName, ecosys.InfoEmailAddress)},
+		},
+		{
+			name: "xuetang", domain: ecosys.DomainEducation,
+			web: &presencePlan{tmpl: tDirectSigninSMS, expose: expose(ecosys.InfoStudentID, ecosys.InfoRealName)},
+		},
+		{
+			name: "haodf", domain: ecosys.DomainHealth,
+			web: &presencePlan{tmpl: tDirectResetSMS, expose: expose(ecosys.InfoRealName, ecosys.InfoCellphone)},
+		},
+
+		// --- lifestyle (mobile-first) ---
+		{
+			name:   "meituan",
+			domain: ecosys.DomainLifestyle,
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoAddress, ecosys.InfoOrderHistory)},
+		},
+		{
+			name:   "didi",
+			domain: ecosys.DomainLifestyle,
+			mobile: &presencePlan{tmpl: mDirect, expose: expose(ecosys.InfoAddress, ecosys.InfoCellphone)},
+		},
+		{
+			name:   "eleme",
+			domain: ecosys.DomainLifestyle,
+			mobile: &presencePlan{tmpl: mMidCID, expose: expose(ecosys.InfoAddress)},
+		},
+	}
+}

@@ -1,0 +1,227 @@
+// Package identity generates deterministic synthetic personas for the
+// Online Account Ecosystem simulation.
+//
+// The paper's measurement and attack studies operate on real users'
+// personal information (names, citizen IDs, cellphone numbers, bankcard
+// numbers, addresses, acquaintances). This package substitutes a
+// seeded generator that produces structurally valid equivalents:
+// citizen IDs carry a real ISO 7064 MOD 11-2 check digit (the GB 11643
+// scheme used by Chinese 18-digit IDs the paper's case studies rely
+// on), bankcard numbers are Luhn-valid, and phone numbers follow the
+// +86 mobile numbering plan. Every persona is a pure function of
+// (seed, index), so experiments are reproducible bit for bit.
+package identity
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Persona is one synthetic user: the complete set of personal
+// information fields the paper's Table I tracks, plus the historical
+// record artifacts (photos, orders) exploited in the cloud-storage
+// attack step.
+type Persona struct {
+	Index      int
+	RealName   string
+	CitizenID  string // 18 digits, valid MOD 11-2 check digit
+	Phone      string // +86 mobile number, unique per persona
+	Email      string
+	Address    string
+	Bankcard   string // Luhn-valid 16-digit PAN
+	UserID     string
+	StudentID  string
+	DeviceType string
+	// Acquaintances holds real names of related personas (the social
+	// relationship category of personal information).
+	Acquaintances []string
+	// Photos models cloud-stored historical records; the paper notes
+	// that cloud backups often contain citizen-ID photos.
+	Photos []string
+}
+
+// Generator produces personas deterministically from a seed.
+// The zero value is not usable; construct with NewGenerator.
+type Generator struct {
+	seed int64
+}
+
+// NewGenerator returns a Generator whose output is a pure function of
+// seed: Persona(i) is stable across runs and machines.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{seed: seed}
+}
+
+// rng derives an independent stream for persona i so that personas can
+// be generated in any order (or in parallel) without coordination.
+func (g *Generator) rng(i int) *rand.Rand {
+	// SplitMix64-style scramble keeps streams decorrelated even for
+	// adjacent indexes.
+	z := uint64(g.seed) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Persona returns the i-th persona. Negative indexes are invalid and
+// panic, matching slice semantics.
+func (g *Generator) Persona(i int) Persona {
+	if i < 0 {
+		panic("identity: negative persona index")
+	}
+	r := g.rng(i)
+	surname := surnames[r.Intn(len(surnames))]
+	given := givenNames[r.Intn(len(givenNames))]
+	name := surname + " " + given
+	p := Persona{
+		Index:      i,
+		RealName:   name,
+		CitizenID:  genCitizenID(r),
+		Phone:      genPhone(i),
+		Address:    genAddress(r),
+		Bankcard:   genBankcard(r),
+		UserID:     fmt.Sprintf("u%07d", i),
+		StudentID:  fmt.Sprintf("S%08d", 20100000+i),
+		DeviceType: deviceTypes[r.Intn(len(deviceTypes))],
+	}
+	p.Email = strings.ToLower(surname) + "." + strings.ToLower(given) + strconv.Itoa(i) + "@mail.example"
+	nAcq := 2 + r.Intn(4)
+	p.Acquaintances = make([]string, 0, nAcq)
+	for k := 0; k < nAcq; k++ {
+		p.Acquaintances = append(p.Acquaintances,
+			surnames[r.Intn(len(surnames))]+" "+givenNames[r.Intn(len(givenNames))])
+	}
+	nPhotos := r.Intn(3)
+	for k := 0; k <= nPhotos; k++ {
+		p.Photos = append(p.Photos, fmt.Sprintf("IMG_%04d_%d.jpg", i, k))
+	}
+	if r.Intn(4) == 0 { // some users back up an ID photo to the cloud
+		p.Photos = append(p.Photos, "citizen_id_scan.jpg")
+	}
+	return p
+}
+
+// Personas returns personas [0, n).
+func (g *Generator) Personas(n int) []Persona {
+	out := make([]Persona, n)
+	for i := range out {
+		out[i] = g.Persona(i)
+	}
+	return out
+}
+
+// genPhone allocates unique +86 mobile numbers: prefix 13x-19x plus a
+// 8-digit subscriber part derived from the index.
+func genPhone(i int) string {
+	prefixes := []string{"138", "139", "150", "159", "176", "186", "188", "199"}
+	pfx := prefixes[i%len(prefixes)]
+	return "+86" + pfx + fmt.Sprintf("%08d", i)
+}
+
+func genAddress(r *rand.Rand) string {
+	return fmt.Sprintf("%d %s, %s District, %s",
+		1+r.Intn(999),
+		streets[r.Intn(len(streets))],
+		districts[r.Intn(len(districts))],
+		cities[r.Intn(len(cities))])
+}
+
+// genCitizenID builds an 18-character ID: 6-digit region, 8-digit
+// birth date, 3-digit sequence, and the MOD 11-2 check character.
+func genCitizenID(r *rand.Rand) string {
+	region := regionCodes[r.Intn(len(regionCodes))]
+	year := 1955 + r.Intn(50)
+	month := 1 + r.Intn(12)
+	day := 1 + r.Intn(28)
+	seq := r.Intn(1000)
+	body := fmt.Sprintf("%s%04d%02d%02d%03d", region, year, month, day, seq)
+	return body + string(CitizenIDCheckChar(body))
+}
+
+// CitizenIDCheckChar computes the ISO 7064 MOD 11-2 check character for
+// the first 17 digits of a citizen ID. It panics if body is not 17
+// decimal digits; callers validate with ValidCitizenID instead when
+// handling untrusted input.
+func CitizenIDCheckChar(body string) byte {
+	if len(body) != 17 {
+		panic("identity: citizen ID body must be 17 digits")
+	}
+	weights := [17]int{7, 9, 10, 5, 8, 4, 2, 1, 6, 3, 7, 9, 10, 5, 8, 4, 2}
+	sum := 0
+	for i := 0; i < 17; i++ {
+		d := body[i]
+		if d < '0' || d > '9' {
+			panic("identity: citizen ID body must be decimal digits")
+		}
+		sum += int(d-'0') * weights[i]
+	}
+	checkMap := [11]byte{'1', '0', 'X', '9', '8', '7', '6', '5', '4', '3', '2'}
+	return checkMap[sum%11]
+}
+
+// ValidCitizenID reports whether id is an 18-character citizen ID with
+// a correct MOD 11-2 check character.
+func ValidCitizenID(id string) bool {
+	if len(id) != 18 {
+		return false
+	}
+	for i := 0; i < 17; i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return false
+		}
+	}
+	last := id[17]
+	if last != 'X' && (last < '0' || last > '9') {
+		return false
+	}
+	return CitizenIDCheckChar(id[:17]) == last
+}
+
+// genBankcard returns a Luhn-valid 16-digit PAN with a recognizable
+// synthetic IIN so test data cannot be mistaken for a real card.
+func genBankcard(r *rand.Rand) string {
+	body := "62" + fmt.Sprintf("%013d", r.Int63n(1e13))
+	return body + string(LuhnCheckDigit(body))
+}
+
+// LuhnCheckDigit computes the Luhn check digit for a digit string.
+// It panics on non-digit input; use ValidLuhn for untrusted data.
+func LuhnCheckDigit(body string) byte {
+	sum := 0
+	// Walking right to left, the rightmost body digit is doubled
+	// because the check digit will occupy the final (undoubled) slot.
+	double := true
+	for i := len(body) - 1; i >= 0; i-- {
+		d := body[i]
+		if d < '0' || d > '9' {
+			panic("identity: bankcard body must be decimal digits")
+		}
+		v := int(d - '0')
+		if double {
+			v *= 2
+			if v > 9 {
+				v -= 9
+			}
+		}
+		double = !double
+		sum += v
+	}
+	return byte('0' + (10-sum%10)%10)
+}
+
+// ValidLuhn reports whether the full digit string (including its final
+// check digit) passes the Luhn checksum.
+func ValidLuhn(pan string) bool {
+	if len(pan) < 2 {
+		return false
+	}
+	for i := 0; i < len(pan); i++ {
+		if pan[i] < '0' || pan[i] > '9' {
+			return false
+		}
+	}
+	return LuhnCheckDigit(pan[:len(pan)-1]) == pan[len(pan)-1]
+}

@@ -1,0 +1,48 @@
+package identity
+
+// Name and place pools for the persona generator. The pools are fixed
+// so persona output stays stable; growing them is a compatibility
+// break for recorded experiment fixtures.
+
+var surnames = []string{
+	"Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao",
+	"Wu", "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu", "Guo",
+	"He", "Gao", "Lin", "Luo", "Zheng", "Liang", "Xie", "Song",
+	"Tang", "Han", "Feng", "Deng", "Cao", "Peng", "Zeng", "Xiao",
+}
+
+var givenNames = []string{
+	"Wei", "Fang", "Na", "Min", "Jing", "Lei", "Qiang", "Jun",
+	"Yang", "Yong", "Jie", "Juan", "Tao", "Ming", "Chao", "Xiu",
+	"Ying", "Hua", "Ping", "Gang", "Yan", "Bo", "Hui", "Xin",
+	"Mei", "Ning", "Long", "Fei", "Rui", "Kai", "Lan", "Qing",
+}
+
+var streets = []string{
+	"Zheda Road", "Wensan Road", "Yuhangtang Road", "Nanshan Road",
+	"Beishan Road", "Moganshan Road", "Jiefang Road", "Yan'an Road",
+	"Tianmushan Road", "Qingchun Road", "Fengqi Road", "Shuguang Road",
+}
+
+var districts = []string{
+	"Xihu", "Gongshu", "Shangcheng", "Binjiang", "Yuhang", "Xiaoshan",
+	"Haidian", "Chaoyang", "Pudong", "Minhang", "Nanshan", "Futian",
+}
+
+var cities = []string{
+	"Hangzhou", "Beijing", "Shanghai", "Shenzhen", "Guangzhou",
+	"Nanjing", "Chengdu", "Wuhan", "Xi'an", "Suzhou",
+}
+
+var deviceTypes = []string{
+	"iPhone 11", "iPhone XR", "Huawei P30", "Huawei Mate 20",
+	"Xiaomi 9", "OPPO R17", "vivo X27", "Samsung Galaxy S10",
+	"OnePlus 7", "iPad Air",
+}
+
+// regionCodes are valid-looking 6-digit administrative division codes
+// used as citizen-ID prefixes.
+var regionCodes = []string{
+	"110101", "310101", "330106", "440305", "320102",
+	"510104", "420106", "610102", "330103", "440104",
+}

@@ -1,0 +1,209 @@
+// Package mitm implements the paper's active man-in-the-middle attack
+// (Fig 7 hardware, Fig 10 message sequence): a 4G jammer downgrades
+// the victim to GSM, a fake base station (FBS, "PC + USRP B100 based
+// on OsmoNITB") captures the victim's terminal and IMSI, a fake victim
+// terminal (FVT, "PC + Motorola C118 based on OsmocomBB") registers
+// with the legitimate network by relaying the authentication challenge
+// to the captive real SIM, a call reveals the victim's MSISDN, and
+// from then on every SMS code for the victim is delivered exclusively
+// to the attacker — more covert than passive sniffing because the
+// victim's handset receives nothing.
+package mitm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// Step names follow the Fig 10 sequence diagram.
+const (
+	StepJam4G        = "force-vt-to-gsm"    // 4G jammer downgrades LTE
+	StepDeployFBS    = "deploy-fbs"         // fake base station on air
+	StepVictimCamps  = "vt-connects-fbs"    // victim camps on the rogue cell
+	StepIMSICatch    = "get-imsi"           // identity request
+	StepCloneFVT     = "socket-fvt"         // fake victim terminal ready
+	StepLAURequest   = "request-lau"        // location update toward LBS
+	StepAuthRelay    = "relay-auth"         // RAND relayed, SRES replayed
+	StepLAUAccept    = "update-location"    // network now serves the FVT
+	StepRevealMSISDN = "call-reveal-msisdn" // caller ID discloses the number
+)
+
+// Step is one executed protocol action.
+type Step struct {
+	Name   string
+	Detail string
+}
+
+// Result is a successful takeover.
+type Result struct {
+	Steps        []Step
+	VictimIMSI   string
+	VictimMSISDN string
+	// FVT is the attacker-controlled terminal now serving the victim's
+	// traffic; every SMS code lands in its inbox.
+	FVT *telecom.Terminal
+	// FBS is the rogue cell holding the victim captive.
+	FBS *telecom.Cell
+}
+
+// Timeline renders the executed steps, one per line, in Fig 10 order.
+func (r *Result) Timeline() []string {
+	out := make([]string, 0, len(r.Steps))
+	for _, s := range r.Steps {
+		out = append(out, s.Name+": "+s.Detail)
+	}
+	return out
+}
+
+// Config parameterizes the attack.
+type Config struct {
+	// FBSCellID names the rogue cell (must be unique in the network).
+	FBSCellID string
+	// FBSARFCN is the rogue cell's broadcast channel.
+	FBSARFCN int
+	// AttackerMSISDN receives the MSISDN-revealing call; it must be a
+	// registered, attached subscriber (the attacker's own burner).
+	AttackerMSISDN string
+}
+
+// Common errors.
+var (
+	ErrVictimStillLTE = errors.New("mitm: victim still on LTE after jamming")
+	ErrNoRevealCall   = errors.New("mitm: reveal call did not reach the attacker terminal")
+)
+
+// Attack drives one takeover attempt.
+type Attack struct {
+	net          *telecom.Network
+	victim       *telecom.Terminal
+	legitCell    *telecom.Cell
+	attackerTerm *telecom.Terminal
+	cfg          Config
+}
+
+// New prepares an attack against victim, whose legitimate serving cell
+// is legitCell. attackerTerm is the attacker's own phone (for the
+// reveal call).
+func New(net *telecom.Network, victim *telecom.Terminal, legitCell *telecom.Cell, attackerTerm *telecom.Terminal, cfg Config) (*Attack, error) {
+	if net == nil || victim == nil || legitCell == nil || attackerTerm == nil {
+		return nil, errors.New("mitm: nil network, victim, cell or attacker terminal")
+	}
+	if cfg.FBSCellID == "" {
+		cfg.FBSCellID = "fbs-" + legitCell.ID
+	}
+	if cfg.FBSARFCN == 0 {
+		cfg.FBSARFCN = 1000 + legitCell.ARFCNs[0]
+	}
+	if cfg.AttackerMSISDN == "" {
+		cfg.AttackerMSISDN = attackerTerm.MSISDN()
+	}
+	return &Attack{net: net, victim: victim, legitCell: legitCell, attackerTerm: attackerTerm, cfg: cfg}, nil
+}
+
+// Run executes the Fig 10 sequence. On success the returned Result's
+// FVT receives all of the victim's SMS traffic and the victim's
+// MSISDN is known. Partial progress is returned inside the error path
+// result for diagnosis.
+func (a *Attack) Run() (*Result, error) {
+	res := &Result{}
+	step := func(name, detail string, args ...any) {
+		res.Steps = append(res.Steps, Step{Name: name, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// 1. Jam the LTE plane so the victim falls back to GSM.
+	if err := a.net.SetLTEJammed(a.legitCell.ID, true); err != nil {
+		return res, fmt.Errorf("mitm: jamming: %w", err)
+	}
+	step(StepJam4G, "LTE jammed on cell %s", a.legitCell.ID)
+	if a.victim.RAT() != telecom.RATGSM {
+		return res, ErrVictimStillLTE
+	}
+
+	// 2. Raise the fake base station, broadcasting louder than every
+	// legitimate cell so idle phones prefer it.
+	strongest, _ := a.net.StrongestCell()
+	power := 100
+	if strongest != nil && strongest.Power >= power {
+		power = strongest.Power + 10
+	}
+	fbs, err := a.net.AddCell(telecom.Cell{
+		ID:     a.cfg.FBSCellID,
+		ARFCNs: []int{a.cfg.FBSARFCN},
+		Cipher: telecom.CipherA50, // rogue cells turn encryption off
+		Rogue:  true,
+		Power:  power,
+	})
+	if err != nil {
+		return res, fmt.Errorf("mitm: deploying FBS: %w", err)
+	}
+	res.FBS = fbs
+	step(StepDeployFBS, "rogue cell %s on ARFCN %d at power %d", fbs.ID, a.cfg.FBSARFCN, power)
+
+	// 3. The victim's own reselection walks it onto the overpowering
+	// rogue cell — no cooperation required.
+	camped, err := a.victim.Reselect()
+	if err != nil {
+		return res, fmt.Errorf("mitm: victim reselection: %w", err)
+	}
+	if camped.ID != fbs.ID {
+		return res, fmt.Errorf("mitm: victim reselected %s, not the FBS", camped.ID)
+	}
+	step(StepVictimCamps, "victim reselected onto %s", fbs.ID)
+
+	// 4. Identity request: any serving cell may ask for the IMSI.
+	res.VictimIMSI = a.victim.IMSI()
+	step(StepIMSICatch, "IMSI %s", res.VictimIMSI)
+
+	// 5. Fake victim terminal claims the IMSI toward the legit cell.
+	fvt, err := a.net.NewCloneTerminal(res.VictimIMSI)
+	if err != nil {
+		return res, fmt.Errorf("mitm: cloning terminal: %w", err)
+	}
+	if err := fvt.AttachTo(a.legitCell); err != nil {
+		return res, fmt.Errorf("mitm: attaching FVT: %w", err)
+	}
+	res.FVT = fvt
+	step(StepCloneFVT, "FVT attached to legit cell %s as %s", a.legitCell.ID, res.VictimIMSI)
+
+	// 6-8. Location update with relayed authentication: the network
+	// challenges the FVT; the FBS forwards RAND to the captive SIM and
+	// replays its SRES. GSM's one-way authentication cannot tell the
+	// difference.
+	rnd, err := a.net.BeginLocationUpdate(res.VictimIMSI)
+	if err != nil {
+		return res, fmt.Errorf("mitm: LAU request: %w", err)
+	}
+	step(StepLAURequest, "network issued RAND challenge")
+	answer := a.victim.RespondAuth(rnd)
+	step(StepAuthRelay, "challenge relayed to captive SIM, SRES replayed")
+	if err := a.net.CompleteLocationUpdate(res.VictimIMSI, answer, fvt); err != nil {
+		return res, fmt.Errorf("mitm: LAU accept: %w", err)
+	}
+	step(StepLAUAccept, "network now serves the FVT")
+
+	// 9. Reveal the MSISDN: the FVT calls the attacker's number and
+	// the caller ID (resolved from the HLR) discloses it.
+	if err := fvt.PlaceCall(a.cfg.AttackerMSISDN); err != nil {
+		return res, fmt.Errorf("mitm: reveal call: %w", err)
+	}
+	calls := a.attackerTerm.Calls()
+	if len(calls) == 0 {
+		return res, ErrNoRevealCall
+	}
+	res.VictimMSISDN = calls[len(calls)-1].FromMSISDN
+	step(StepRevealMSISDN, "caller ID %s", res.VictimMSISDN)
+
+	return res, nil
+}
+
+// TearDown removes the jammer (the rogue cell stays registered in the
+// simulated network, but releasing the victim re-attaches it to the
+// legitimate cell and restores its service).
+func (a *Attack) TearDown() error {
+	if err := a.net.SetLTEJammed(a.legitCell.ID, false); err != nil {
+		return err
+	}
+	return a.victim.Attach(a.legitCell)
+}

@@ -1,0 +1,237 @@
+package mitm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// scenario builds an LTE victim and an attacker phone on one cell.
+func scenario(t *testing.T) (*telecom.Network, *telecom.Cell, *telecom.Terminal, *telecom.Terminal) {
+	t.Helper()
+	n := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 10}, Seed: 5})
+	cell, err := n.AddCell(telecom.Cell{ID: "lbs", ARFCNs: []int{512}, Cipher: telecom.CipherA51, LTE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vicSub, err := n.Register("460007770001234", "+8613900004321")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := n.NewTerminal(vicSub, telecom.RATLTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	attSub, err := n.Register("460009990000001", "+8613811110000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := n.NewTerminal(attSub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	return n, cell, victim, attacker
+}
+
+func TestRunFullSequence(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, err := New(n, victim, cell, attacker, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatalf("Run: %v (steps: %v)", err, res.Timeline())
+	}
+
+	if res.VictimIMSI != victim.IMSI() {
+		t.Errorf("IMSI = %s", res.VictimIMSI)
+	}
+	if res.VictimMSISDN != "+8613900004321" {
+		t.Errorf("MSISDN = %s", res.VictimMSISDN)
+	}
+
+	// All nine Fig 10 steps executed, in order.
+	wantOrder := []string{
+		StepJam4G, StepDeployFBS, StepVictimCamps, StepIMSICatch,
+		StepCloneFVT, StepLAURequest, StepAuthRelay, StepLAUAccept,
+		StepRevealMSISDN,
+	}
+	if len(res.Steps) != len(wantOrder) {
+		t.Fatalf("steps = %d want %d: %v", len(res.Steps), len(wantOrder), res.Timeline())
+	}
+	for i, want := range wantOrder {
+		if res.Steps[i].Name != want {
+			t.Errorf("step %d = %s want %s", i, res.Steps[i].Name, want)
+		}
+	}
+}
+
+func TestInterceptionIsExclusive(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, _ := New(n, victim, cell, attacker, Config{})
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A service now sends the victim an SMS code.
+	if _, err := n.SendSMS("Alipay", res.VictimMSISDN, "Alipay code 667788"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.FVT.LastSMS()
+	if !ok || got.Text != "Alipay code 667788" {
+		t.Fatalf("attacker FVT inbox: %+v, %v", got, ok)
+	}
+	// Covertness: the victim handset saw nothing (unlike passive
+	// sniffing, where the victim also receives the code).
+	if len(victim.Inbox()) != 0 {
+		t.Error("victim received the SMS; MitM is not covert")
+	}
+}
+
+func TestTearDownRestoresVictim(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, _ := New(n, victim, cell, attacker, Config{})
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.TearDown(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.RAT() != telecom.RATLTE {
+		t.Errorf("victim RAT after teardown = %v want LTE", victim.RAT())
+	}
+	if _, err := n.SendSMS("Bank", res.VictimMSISDN, "back to normal"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := victim.LastSMS(); !ok || got.Text != "back to normal" {
+		t.Errorf("victim inbox after teardown: %+v, %v", got, ok)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	if _, err := New(nil, victim, cell, attacker, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := New(n, nil, cell, attacker, Config{}); err == nil {
+		t.Error("nil victim accepted")
+	}
+	if _, err := New(n, victim, nil, attacker, Config{}); err == nil {
+		t.Error("nil cell accepted")
+	}
+	if _, err := New(n, victim, cell, nil, Config{}); err == nil {
+		t.Error("nil attacker terminal accepted")
+	}
+}
+
+func TestRunFailsWhenFBSCollides(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	// Occupy the default FBS cell ID to force a deployment failure.
+	if _, err := n.AddCell(telecom.Cell{ID: "fbs-lbs", ARFCNs: []int{1512}}); err != nil {
+		t.Fatal(err)
+	}
+	atk, _ := New(n, victim, cell, attacker, Config{})
+	res, err := atk.Run()
+	if err == nil {
+		t.Fatal("Run succeeded despite FBS collision")
+	}
+	// Jamming already happened; partial progress must be recorded.
+	if len(res.Steps) == 0 || res.Steps[0].Name != StepJam4G {
+		t.Errorf("partial steps = %v", res.Timeline())
+	}
+}
+
+func TestGSMNativeVictimNeedsNoDowngradeEffect(t *testing.T) {
+	// A victim already on GSM: jamming is a no-op but the attack
+	// still works end to end.
+	n := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 9})
+	cell, _ := n.AddCell(telecom.Cell{ID: "lbs", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	vs, _ := n.Register("46000111", "+8613912345678")
+	victim, _ := n.NewTerminal(vs, telecom.RATGSM)
+	if err := victim.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	as, _ := n.Register("46000222", "+8613800000222")
+	attacker, _ := n.NewTerminal(as, telecom.RATGSM)
+	if err := attacker.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	atk, _ := New(n, victim, cell, attacker, Config{FBSCellID: "evil", FBSARFCN: 900})
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimMSISDN != "+8613912345678" {
+		t.Errorf("MSISDN = %s", res.VictimMSISDN)
+	}
+	if res.FBS.ID != "evil" || res.FBS.ARFCNs[0] != 900 {
+		t.Errorf("FBS config not honored: %+v", res.FBS)
+	}
+}
+
+func TestTimelineReadable(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, _ := New(n, victim, cell, attacker, Config{})
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := res.Timeline()
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"IMSI", "RAND", "caller ID", "rogue cell"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("timeline missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestErrNoRevealCallSurfaced(t *testing.T) {
+	// If the attacker MSISDN is a registered subscriber with no
+	// serving terminal, the reveal call cannot complete.
+	n, cell, victim, attacker := scenario(t)
+	ghost, err := n.Register("460", "+8613800009999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, _ := New(n, victim, cell, attacker, Config{AttackerMSISDN: ghost.MSISDN})
+	if _, err := atk.Run(); err == nil {
+		t.Fatal("Run succeeded with unreachable attacker number")
+	} else if errors.Is(err, ErrNoRevealCall) {
+		t.Log("reveal-call failure surfaced as ErrNoRevealCall")
+	}
+}
+
+func BenchmarkFullTakeover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: int64(i)})
+		cell, _ := n.AddCell(telecom.Cell{ID: "lbs", ARFCNs: []int{512}, Cipher: telecom.CipherA51, LTE: true})
+		vs, _ := n.Register("46000111", "+8613912345678")
+		victim, _ := n.NewTerminal(vs, telecom.RATLTE)
+		if err := victim.Attach(cell); err != nil {
+			b.Fatal(err)
+		}
+		as, _ := n.Register("46000222", "+8613800000222")
+		attacker, _ := n.NewTerminal(as, telecom.RATGSM)
+		if err := attacker.Attach(cell); err != nil {
+			b.Fatal(err)
+		}
+		atk, _ := New(n, victim, cell, attacker, Config{})
+		b.StartTimer()
+		if _, err := atk.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package phishing implements the paper's remote attack variant (§II,
+// §VII.B): instead of intercepting SMS codes over the air — which
+// binds the attacker to within hundreds of meters of the victim — a
+// phishing page relays the authentication flow in real time
+// (PRMitM-style, the Gelernter et al. attack the paper builds on).
+//
+// The attacker's page poses as the target service's login. The victim
+// enters their phone number; the attacker triggers the REAL service's
+// reset, which texts the victim a genuine code; the page then asks the
+// victim to "confirm" that code, and the attacker replays it within
+// its validity window.
+//
+// The trade-offs the paper calls out are modeled: phishing removes the
+// distance constraint (no sniffer needed), but it requires the
+// victim's response ("less stealthy and requires victims' response"),
+// so success is probabilistic in the victim's vigilance, whereas radio
+// interception succeeds unconditionally and silently.
+package phishing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/actfort/actfort/internal/attack"
+	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// Victim models the human at the far end of a phishing flow: their
+// handset (where real codes arrive) and their vigilance.
+type Victim struct {
+	// Terminal is the victim's real phone.
+	Terminal *telecom.Terminal
+	// Vigilance in [0,1]: the probability the victim refuses to type
+	// the code into an unfamiliar page. 0 always falls for it.
+	Vigilance float64
+}
+
+// Page is one deployed phishing page for one impersonated service.
+type Page struct {
+	// Service is the impersonated brand ("Google").
+	Service string
+	// LureURL is where victims are directed (cosmetic).
+	LureURL string
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	visits  int
+	codes   []string
+	refused int
+}
+
+// NewPage deploys a phishing page. The seed drives victim-response
+// randomness so experiments are reproducible.
+func NewPage(service string, seed int64) *Page {
+	return &Page{
+		Service: service,
+		LureURL: "https://" + service + "-secure-login.example/verify",
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Errors.
+var (
+	// ErrVictimRefused reports that the victim did not enter the code
+	// (vigilance won) — the phishing run is burned for this victim.
+	ErrVictimRefused = errors.New("phishing: victim refused to enter the code")
+	// ErrNoCode reports that no fresh code reached the victim's phone.
+	ErrNoCode = errors.New("phishing: no code arrived on the victim's handset")
+)
+
+// Stats summarizes a page's campaign.
+type Stats struct {
+	Visits  int
+	Relayed int
+	Refused int
+}
+
+// RelayCode executes one PRMitM round: the victim has just been lured
+// onto the page (trigger the real reset before calling this); the page
+// waits for the genuine code to arrive on the victim's handset and —
+// if the victim cooperates — relays it to the attacker.
+//
+// sentAfter anchors freshness: only messages beyond that inbox index
+// count, so stale codes are never replayed.
+func (p *Page) RelayCode(ctx context.Context, v Victim, sentAfter int) (string, error) {
+	p.mu.Lock()
+	p.visits++
+	cooperates := p.rng.Float64() >= v.Vigilance
+	p.mu.Unlock()
+
+	// The genuine service SMS lands on the victim's real phone.
+	inbox := v.Terminal.Inbox()
+	if len(inbox) <= sentAfter {
+		return "", ErrNoCode
+	}
+	var code string
+	for _, msg := range inbox[sentAfter:] {
+		if c, ok := extractCode(msg); ok {
+			code = c
+		}
+	}
+	if code == "" {
+		return "", ErrNoCode
+	}
+
+	if !cooperates {
+		p.mu.Lock()
+		p.refused++
+		p.mu.Unlock()
+		return "", fmt.Errorf("%w (vigilance %.2f)", ErrVictimRefused, v.Vigilance)
+	}
+	p.mu.Lock()
+	p.codes = append(p.codes, code)
+	p.mu.Unlock()
+	return code, nil
+}
+
+// Stats returns campaign counters.
+func (p *Page) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Visits: p.visits, Relayed: len(p.codes), Refused: p.refused}
+}
+
+// Codes returns every relayed code, oldest first.
+func (p *Page) Codes() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.codes...)
+}
+
+// extractCode pulls a 4–8 digit OTP from an SMS.
+func extractCode(msg gsmcodec.Deliver) (string, bool) {
+	text := msg.Text
+	run := 0
+	start := -1
+	best := ""
+	for i := 0; i <= len(text); i++ {
+		if i < len(text) && text[i] >= '0' && text[i] <= '9' {
+			if run == 0 {
+				start = i
+			}
+			run++
+			continue
+		}
+		if run >= 4 && run <= 8 && best == "" {
+			best = text[start : start+run]
+		}
+		run = 0
+	}
+	return best, best != ""
+}
+
+// Interceptor adapts a phishing campaign to the attack executor's
+// Interceptor interface: where the sniffer listens to the air, this
+// lures the victim once per needed code. It works at any distance but
+// fails whenever the victim's vigilance wins.
+type Interceptor struct {
+	Page   *Page
+	Victim Victim
+
+	mu     sync.Mutex
+	cursor int
+}
+
+var _ attack.Interceptor = (*Interceptor)(nil)
+
+// InterceptCode implements the attack.Interceptor contract.
+func (pi *Interceptor) InterceptCode(ctx context.Context, originator string) (string, error) {
+	pi.mu.Lock()
+	cursor := pi.cursor
+	pi.mu.Unlock()
+
+	code, err := pi.Page.RelayCode(ctx, pi.Victim, cursor)
+	pi.mu.Lock()
+	pi.cursor = len(pi.Victim.Terminal.Inbox())
+	pi.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return code, nil
+}

@@ -1,0 +1,168 @@
+package phishing
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/attack"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+func victimWorld(t *testing.T) (*telecom.Network, *telecom.Subscriber, *telecom.Terminal) {
+	t.Helper()
+	n := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 1})
+	cell, err := n.AddCell(telecom.Cell{ID: "c", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n.Register("imsi", "+8613800000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := n.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	return n, sub, term
+}
+
+func TestRelayFromGullibleVictim(t *testing.T) {
+	n, sub, term := victimWorld(t)
+	page := NewPage("google", 1)
+	if !strings.Contains(page.LureURL, "google") {
+		t.Errorf("lure URL = %q", page.LureURL)
+	}
+
+	before := len(term.Inbox())
+	if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your Google verification code."); err != nil {
+		t.Fatal(err)
+	}
+	code, err := page.RelayCode(context.Background(), Victim{Terminal: term, Vigilance: 0}, before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != "845512" {
+		t.Errorf("relayed code = %q", code)
+	}
+	st := page.Stats()
+	if st.Visits != 1 || st.Relayed != 1 || st.Refused != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := page.Codes(); len(got) != 1 || got[0] != "845512" {
+		t.Errorf("codes = %v", got)
+	}
+}
+
+func TestVigilantVictimRefuses(t *testing.T) {
+	n, sub, term := victimWorld(t)
+	page := NewPage("google", 1)
+	before := len(term.Inbox())
+	if _, err := n.SendSMS("Google", sub.MSISDN, "code 111222"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := page.RelayCode(context.Background(), Victim{Terminal: term, Vigilance: 1}, before)
+	if !errors.Is(err, ErrVictimRefused) {
+		t.Fatalf("err = %v want ErrVictimRefused", err)
+	}
+	if st := page.Stats(); st.Refused != 1 || st.Relayed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStaleCodesNeverReplayed(t *testing.T) {
+	n, sub, term := victimWorld(t)
+	page := NewPage("google", 1)
+	if _, err := n.SendSMS("Google", sub.MSISDN, "old code 999999"); err != nil {
+		t.Fatal(err)
+	}
+	// The freshness anchor sits after the old message.
+	anchor := len(term.Inbox())
+	_, err := page.RelayCode(context.Background(), Victim{Terminal: term}, anchor)
+	if !errors.Is(err, ErrNoCode) {
+		t.Fatalf("err = %v want ErrNoCode", err)
+	}
+	// A plain chat message is not a code either.
+	if _, err := n.SendSMS("Mom", sub.MSISDN, "see you at dinner"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = page.RelayCode(context.Background(), Victim{Terminal: term}, anchor)
+	if !errors.Is(err, ErrNoCode) {
+		t.Fatalf("non-code message relayed: %v", err)
+	}
+}
+
+func TestVigilanceRateObserved(t *testing.T) {
+	n, sub, term := victimWorld(t)
+	page := NewPage("google", 7)
+	v := Victim{Terminal: term, Vigilance: 0.5}
+	relayed := 0
+	for i := 0; i < 60; i++ {
+		before := len(term.Inbox())
+		if _, err := n.SendSMS("Google", sub.MSISDN, "code 123456"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := page.RelayCode(context.Background(), v, before); err == nil {
+			relayed++
+		}
+	}
+	if relayed < 15 || relayed > 45 {
+		t.Errorf("relayed %d/60 at vigilance 0.5; implausible", relayed)
+	}
+}
+
+// The distance-free chain attack: the same executor that normally uses
+// the sniffer runs on phishing relays instead — Case I without radio
+// proximity (the §VII.B extension).
+func TestPhishingDrivenChainAttack(t *testing.T) {
+	s, err := attack.NewScenario(attack.ScenarioConfig{Seed: 42, KeyBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Sniffer.Stop() // the attacker is far away: no radio
+
+	page := NewPage("baidu", 3)
+	exec := &attack.Executor{
+		Platform: s.Platform,
+		Intercept: &Interceptor{
+			Page:   page,
+			Victim: Victim{Terminal: s.VictimTerminal, Vigilance: 0}, // fell for the lure
+		},
+		Know: attack.NewKnowledge(s.Victim.Persona.Phone),
+	}
+	plan, err := s.PlanFor(ecosys.AccountID{Service: "baidu-wallet", Platform: ecosys.PlatformMobile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := exec.Execute(ctx, plan)
+	if err != nil {
+		t.Fatalf("%v (transcript %v)", err, res.Transcript())
+	}
+	if res.FinalToken == "" {
+		t.Fatal("no session")
+	}
+	if st := page.Stats(); st.Relayed == 0 {
+		t.Error("no codes were phished")
+	}
+
+	// The vigilant victim breaks the same attack.
+	vigilant := &attack.Executor{
+		Platform: s.Platform,
+		Intercept: &Interceptor{
+			Page:   NewPage("baidu", 4),
+			Victim: Victim{Terminal: s.VictimTerminal, Vigilance: 1},
+		},
+		Know: attack.NewKnowledge(s.Victim.Persona.Phone),
+	}
+	if _, err := vigilant.Execute(ctx, plan); !errors.Is(err, ErrVictimRefused) {
+		t.Fatalf("vigilant victim err = %v want ErrVictimRefused", err)
+	}
+}

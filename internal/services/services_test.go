@@ -1,0 +1,527 @@
+package services
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/email"
+	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// world is the test fixture: catalog, network, platform, one victim.
+type world struct {
+	platform *Platform
+	net      *telecom.Network
+	victim   User
+	terminal *telecom.Terminal
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	cat := dataset.MustDefault()
+	net := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 1})
+	cell, err := net.AddCell(telecom.Cell{ID: "c1", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	persona := identity.NewGenerator(77).Persona(0)
+	sub, err := net.Register("imsi-victim", persona.Phone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := net.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	mail := email.NewServer()
+	p, err := NewPlatform(Config{Catalog: cat, Net: net, Mail: mail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	victim := User{
+		Persona:      persona,
+		Password:     "victim-password-1",
+		DeviceSecret: "device-secret-xyz",
+	}
+	return &world{platform: p, net: net, victim: victim, terminal: term}
+}
+
+func (w *world) launch(t *testing.T, names ...string) {
+	t.Helper()
+	if _, err := w.platform.LaunchAll(names...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.platform.Provision(w.victim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (w *world) inst(t *testing.T, service string, platform ecosys.Platform) *Instance {
+	t.Helper()
+	inst, ok := w.platform.Instance(ecosys.AccountID{Service: service, Platform: platform})
+	if !ok {
+		t.Fatalf("instance %s/%v not launched", service, platform)
+	}
+	return inst
+}
+
+// postJSON is a tiny HTTP helper returning status + decoded body.
+func postJSON(t *testing.T, url string, in any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url, token string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+// lastCode extracts the OTP digits from the victim's latest SMS.
+func lastCode(t *testing.T, term *telecom.Terminal) string {
+	t.Helper()
+	msg, ok := term.LastSMS()
+	if !ok {
+		t.Fatal("no SMS in victim inbox")
+	}
+	for i := 0; i+6 <= len(msg.Text); i++ {
+		all := true
+		for j := i; j < i+6; j++ {
+			if msg.Text[j] < '0' || msg.Text[j] > '9' {
+				all = false
+				break
+			}
+		}
+		if all {
+			return msg.Text[i : i+6]
+		}
+	}
+	t.Fatalf("no 6-digit code in %q", msg.Text)
+	return ""
+}
+
+func TestSMSResetFlow(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gmail")
+	inst := w.inst(t, "gmail", ecosys.PlatformWeb)
+
+	// 1. Request the reset code; it travels the telecom network.
+	var rc RequestCodeResp
+	status := postJSON(t, inst.URL()+"/request-code",
+		RequestCodeReq{Phone: w.victim.Persona.Phone, Path: "reset-sms"}, &rc)
+	if status != http.StatusOK || len(rc.Sent) != 1 {
+		t.Fatalf("request-code: %d %+v", status, rc)
+	}
+	code := lastCode(t, w.terminal)
+
+	// 2. Authenticate with phone + code.
+	var auth AuthResp
+	status = postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone,
+		Path:  "reset-sms",
+		Factors: map[string]string{
+			"cellphone-number": w.victim.Persona.Phone,
+			"sms-code":         code,
+		},
+	}, &auth)
+	if status != http.StatusOK || auth.Token == "" {
+		t.Fatalf("authenticate: %d %+v", status, auth)
+	}
+
+	// 3. Profile page harvest.
+	var prof ProfileResp
+	if status := getJSON(t, inst.URL()+"/profile", auth.Token, &prof); status != http.StatusOK {
+		t.Fatalf("profile: %d", status)
+	}
+	if prof.Fields["email-address"] != w.victim.Persona.Email {
+		t.Errorf("profile fields = %+v", prof.Fields)
+	}
+}
+
+func TestWrongAndMissingFactors(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gmail")
+	inst := w.inst(t, "gmail", ecosys.PlatformWeb)
+
+	// Missing SMS code.
+	status := postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "reset-sms",
+		Factors: map[string]string{"cellphone-number": w.victim.Persona.Phone},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("missing factor status = %d", status)
+	}
+	// Wrong code (none outstanding).
+	status = postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "reset-sms",
+		Factors: map[string]string{
+			"cellphone-number": w.victim.Persona.Phone,
+			"sms-code":         "000000",
+		},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("wrong code status = %d", status)
+	}
+	// Unknown path and phone.
+	if status := postJSON(t, inst.URL()+"/authenticate", AuthReq{Phone: w.victim.Persona.Phone, Path: "nope"}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", status)
+	}
+	if status := postJSON(t, inst.URL()+"/request-code", RequestCodeReq{Phone: "+860", Path: "reset-sms"}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown phone status = %d", status)
+	}
+	// Password sign-in with wrong password.
+	status = postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-pw",
+		Factors: map[string]string{"password": "guess"},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("wrong password status = %d", status)
+	}
+}
+
+func TestEmailCodeFlowAndMailbox(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gmail", "paypal")
+	gmail := w.inst(t, "gmail", ecosys.PlatformWeb)
+	paypal := w.inst(t, "paypal", ecosys.PlatformWeb)
+
+	// PayPal reset wants SMS + email code; both get issued.
+	var rc RequestCodeResp
+	status := postJSON(t, paypal.URL()+"/request-code",
+		RequestCodeReq{Phone: w.victim.Persona.Phone, Path: "reset-emc"}, &rc)
+	if status != http.StatusOK || len(rc.Sent) != 2 {
+		t.Fatalf("request-code: %d %+v", status, rc)
+	}
+	smsCode := lastCode(t, w.terminal)
+
+	// The email code is in the victim's mailbox; take over gmail first
+	// (SMS-only reset), then read the mailbox through the service.
+	status = postJSON(t, gmail.URL()+"/request-code",
+		RequestCodeReq{Phone: w.victim.Persona.Phone, Path: "reset-sms"}, nil)
+	if status != http.StatusOK {
+		t.Fatal("gmail request-code failed")
+	}
+	gmailCode := lastCode(t, w.terminal)
+	var gmailAuth AuthResp
+	status = postJSON(t, gmail.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "reset-sms",
+		Factors: map[string]string{
+			"cellphone-number": w.victim.Persona.Phone,
+			"sms-code":         gmailCode,
+		},
+	}, &gmailAuth)
+	if status != http.StatusOK {
+		t.Fatal("gmail takeover failed")
+	}
+	var box MailboxResp
+	if status := getJSON(t, gmail.URL()+"/mailbox", gmailAuth.Token, &box); status != http.StatusOK {
+		t.Fatalf("mailbox: %d", status)
+	}
+	var emailCode string
+	for i := len(box.Messages) - 1; i >= 0; i-- {
+		if strings.Contains(box.Messages[i].Subject, "Paypal") ||
+			strings.Contains(box.Messages[i].Subject, "paypal") {
+			if c, ok := email.ExtractCode(box.Messages[i].Body); ok {
+				emailCode = c
+				break
+			}
+		}
+	}
+	if emailCode == "" {
+		t.Fatalf("no paypal code in mailbox: %+v", box.Messages)
+	}
+
+	// Complete the PayPal reset with both codes.
+	var auth AuthResp
+	status = postJSON(t, paypal.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "reset-emc",
+		Factors: map[string]string{
+			"sms-code":   smsCode,
+			"email-code": emailCode,
+		},
+	}, &auth)
+	if status != http.StatusOK {
+		t.Fatalf("paypal authenticate: %d", status)
+	}
+	// PayPal is fintech: the session can pay.
+	var pay PayResp
+	if status := postJSON(t, paypal.URL()+"/pay", map[string]int{"amount": 100}, nil); status != http.StatusUnauthorized {
+		t.Errorf("pay without session = %d", status)
+	}
+	req, _ := http.NewRequest(http.MethodPost, paypal.URL()+"/pay", bytes.NewReader([]byte("{}")))
+	req.Header.Set("Authorization", "Bearer "+auth.Token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pay: %d", resp.StatusCode)
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&pay)
+	if !strings.Contains(pay.Receipt, "paypal/web") {
+		t.Errorf("receipt = %q", pay.Receipt)
+	}
+}
+
+func TestMailboxOnlyOnEmailDomain(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "ctrip")
+	inst := w.inst(t, "ctrip", ecosys.PlatformWeb)
+	if status := getJSON(t, inst.URL()+"/mailbox", "whatever", nil); status != http.StatusNotFound {
+		t.Errorf("mailbox on travel service = %d", status)
+	}
+	if status := postJSON(t, inst.URL()+"/pay", map[string]int{}, nil); status != http.StatusNotFound {
+		t.Errorf("pay on travel service = %d", status)
+	}
+}
+
+func TestLinkedAccountSignIn(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gmail", "expedia")
+	gmail := w.inst(t, "gmail", ecosys.PlatformWeb)
+	expedia := w.inst(t, "expedia", ecosys.PlatformWeb)
+
+	// Get a gmail session (legitimate password login).
+	var gAuth AuthResp
+	status := postJSON(t, gmail.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-pw",
+		Factors: map[string]string{"password": w.victim.Password},
+	}, &gAuth)
+	if status != http.StatusOK {
+		t.Fatal("gmail password login failed")
+	}
+	// Expedia signs in with the bound gmail session.
+	var eAuth AuthResp
+	status = postJSON(t, expedia.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-linked",
+		Factors: map[string]string{"linked-account": gAuth.Token},
+	}, &eAuth)
+	if status != http.StatusOK || eAuth.Token == "" {
+		t.Fatalf("linked sign-in: %d", status)
+	}
+	// A bogus token is rejected.
+	status = postJSON(t, expedia.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-linked",
+		Factors: map[string]string{"linked-account": "bogus"},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("bogus linked token = %d", status)
+	}
+}
+
+func TestUnphishableFactors(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "bank-secure")
+	inst := w.inst(t, "bank-secure", ecosys.PlatformWeb)
+
+	status := postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-u2f",
+		Factors: map[string]string{"u2f-key": "stolen-guess"},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("U2F guess accepted: %d", status)
+	}
+	var auth AuthResp
+	status = postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "signin-u2f",
+		Factors: map[string]string{"u2f-key": w.victim.DeviceSecret},
+	}, &auth)
+	if status != http.StatusOK {
+		t.Errorf("genuine device rejected: %d", status)
+	}
+}
+
+func TestCustomerServicePathRejected(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "alipay")
+	inst := w.inst(t, "alipay", ecosys.PlatformWeb)
+	// alipay web has a customer-service extra path; the simulation
+	// always requires manual review.
+	var meta MetaResp
+	if status := getJSON(t, inst.URL()+"/meta", "", &meta); status != http.StatusOK {
+		t.Fatal("meta failed")
+	}
+	var csPath string
+	for _, p := range meta.Paths {
+		if strings.HasPrefix(p, "extra-cs-") {
+			csPath = p
+			break
+		}
+	}
+	if csPath == "" {
+		t.Fatalf("no customer-service path on alipay web: %v", meta.Paths)
+	}
+	status := postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: csPath,
+		Factors: map[string]string{"customer-service": "please", "sms-code": "123456"},
+	}, nil)
+	if status != http.StatusForbidden {
+		t.Errorf("customer-service path accepted: %d", status)
+	}
+}
+
+func TestRateLimitSurfaces(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gmail")
+	inst := w.inst(t, "gmail", ecosys.PlatformWeb)
+	var last int
+	for i := 0; i < 8; i++ {
+		last = postJSON(t, inst.URL()+"/request-code",
+			RequestCodeReq{Phone: w.victim.Persona.Phone, Path: "reset-sms"}, nil)
+	}
+	if last != http.StatusTooManyRequests {
+		t.Errorf("8th request-code = %d want 429", last)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.platform.Launch(ecosys.AccountID{Service: "ghost", Platform: ecosys.PlatformWeb}); err == nil {
+		t.Error("unknown service launched")
+	}
+	if _, err := w.platform.LaunchAll("gmail"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.platform.Launch(ecosys.AccountID{Service: "gmail", Platform: ecosys.PlatformWeb}); err == nil {
+		t.Error("duplicate launch accepted")
+	}
+	if _, err := w.platform.LaunchAll("ghost"); err == nil {
+		t.Error("unknown LaunchAll accepted")
+	}
+	if _, err := NewPlatform(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if err := w.platform.Provision(User{}); err == nil {
+		t.Error("user without phone accepted")
+	}
+}
+
+func TestProfileMasksApplied(t *testing.T) {
+	w := newWorld(t)
+	w.launch(t, "gome")
+	inst := w.inst(t, "gome", ecosys.PlatformWeb)
+	status := postJSON(t, inst.URL()+"/request-code",
+		RequestCodeReq{Phone: w.victim.Persona.Phone, Path: "reset-sms"}, nil)
+	if status != http.StatusOK {
+		t.Fatal("request-code failed")
+	}
+	code := lastCode(t, w.terminal)
+	var auth AuthResp
+	status = postJSON(t, inst.URL()+"/authenticate", AuthReq{
+		Phone: w.victim.Persona.Phone, Path: "reset-sms",
+		Factors: map[string]string{
+			"cellphone-number": w.victim.Persona.Phone,
+			"sms-code":         code,
+		},
+	}, &auth)
+	if status != http.StatusOK {
+		t.Fatal("authenticate failed")
+	}
+	var prof ProfileResp
+	if status := getJSON(t, inst.URL()+"/profile", auth.Token, &prof); status != http.StatusOK {
+		t.Fatal("profile failed")
+	}
+	cid := prof.Fields["citizen-id"]
+	if !strings.Contains(cid, "*") {
+		t.Errorf("gome web citizen ID not masked: %q", cid)
+	}
+	if !strings.HasPrefix(cid, w.victim.Persona.CitizenID[:6]) {
+		t.Errorf("gome web mask should reveal first 6: %q", cid)
+	}
+}
+
+func TestOriginatorForNames(t *testing.T) {
+	cases := map[string]string{
+		"gmail":         "Gmail",
+		"china-railway": "China",
+		"":              "Service",
+	}
+	for in, want := range cases {
+		if got := OriginatorFor(in); got != want {
+			t.Errorf("OriginatorFor(%q) = %q want %q", in, got, want)
+		}
+	}
+	if got := OriginatorFor("averyveryverylongname"); len(got) > 11 {
+		t.Errorf("originator %q exceeds GSM limit", got)
+	}
+}
+
+func BenchmarkAuthenticateFlow(b *testing.B) {
+	cat := dataset.MustDefault()
+	net := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 1})
+	cell, _ := net.AddCell(telecom.Cell{ID: "c1", ARFCNs: []int{512}, Cipher: telecom.CipherA50})
+	persona := identity.NewGenerator(77).Persona(0)
+	sub, _ := net.Register("imsi-victim", persona.Phone)
+	term, _ := net.NewTerminal(sub, telecom.RATGSM)
+	if err := term.Attach(cell); err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPlatform(Config{Catalog: cat, Net: net, Mail: email.NewServer()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.LaunchAll("gmail"); err != nil {
+		b.Fatal(err)
+	}
+	victim := User{Persona: persona, Password: "pw"}
+	if err := p.Provision(victim); err != nil {
+		b.Fatal(err)
+	}
+	inst, _ := p.Instance(ecosys.AccountID{Service: "gmail", Platform: ecosys.PlatformWeb})
+	body, _ := json.Marshal(AuthReq{
+		Phone: persona.Phone, Path: "signin-pw",
+		Factors: map[string]string{"password": "pw"},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(inst.URL()+"/authenticate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", resp.StatusCode))
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,291 @@
+// Package sniffer implements the paper's passive GSM interception rig
+// (Fig 6): a farm of single-frequency receivers (the 16 Motorola C118
+// phones running OsmocomBB), burst reassembly, A5/1 session-key
+// recovery via the known-plaintext paging burst, SMS-DELIVER decoding
+// and Wireshark-style display filtering (Fig 5).
+//
+// Coverage is physical: a receiver hears only the ARFCN it is tuned
+// to, so interception probability scales with how many of the cell's
+// channels the attacker can cover — reproduced by experiment E6.
+package sniffer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// Capture is one fully decoded SMS, the unit Fig 5 displays.
+type Capture struct {
+	ARFCN      int
+	CellID     string
+	SessionID  uint32
+	Originator string
+	Text       string
+	Timestamp  time.Time
+	// Encrypted records whether the session was A5/1-protected.
+	Encrypted bool
+	// Kc is the recovered session key (zero for plaintext traffic).
+	Kc uint64
+	// CrackTime is how long key recovery took (zero for plaintext).
+	CrackTime time.Duration
+}
+
+// WiresharkLine renders the capture like the paper's Fig 5 screenshot.
+func (c Capture) WiresharkLine() string {
+	enc := "A5/0"
+	if c.Encrypted {
+		enc = "A5/1"
+	}
+	return fmt.Sprintf("%s  ARFCN %d  %s  GSM SMS (%s)  %q",
+		c.Timestamp.Format("2006-01-02 15:04:05"), c.ARFCN, c.Originator, enc, c.Text)
+}
+
+// Stats summarizes a sniffing run.
+type Stats struct {
+	BurstsSeen       int
+	SessionsComplete int
+	MessagesDecoded  int
+	CracksAttempted  int
+	CracksSucceeded  int
+	FilteredOut      int
+}
+
+// Config parameterizes a Sniffer.
+type Config struct {
+	// MaxReceivers caps simultaneously tuned ARFCNs; the paper's rig
+	// had 16 C118 handsets. Zero means DefaultMaxReceivers.
+	MaxReceivers int
+	// CrackWorkers is the parallelism of key recovery (0 = all cores).
+	CrackWorkers int
+	// Filter, when non-nil, restricts Captures to matching messages;
+	// non-matching messages are still decoded and counted.
+	Filter Filter
+}
+
+// DefaultMaxReceivers matches the paper's hardware.
+const DefaultMaxReceivers = 16
+
+// ErrTooManyReceivers reports a Tune beyond receiver capacity.
+var ErrTooManyReceivers = errors.New("sniffer: not enough receivers for requested ARFCNs")
+
+// Sniffer is the passive interception rig. Create with New, point
+// receivers with Tune, then read Captures. Safe for concurrent use.
+type Sniffer struct {
+	net *telecom.Network
+	cfg Config
+
+	mu       sync.Mutex
+	cancels  map[int]func()
+	sessions map[uint32]*session
+	captures []Capture
+	stats    Stats
+}
+
+// session buffers bursts until a transmission is complete.
+type session struct {
+	bursts map[int]telecom.RadioBurst
+	total  int
+}
+
+// New builds a sniffer against a network.
+func New(net *telecom.Network, cfg Config) *Sniffer {
+	if cfg.MaxReceivers <= 0 {
+		cfg.MaxReceivers = DefaultMaxReceivers
+	}
+	return &Sniffer{
+		net:      net,
+		cfg:      cfg,
+		cancels:  make(map[int]func()),
+		sessions: make(map[uint32]*session),
+	}
+}
+
+// Tune points receivers at the given ARFCNs (idempotent per channel).
+// It fails with ErrTooManyReceivers when the rig is out of handsets.
+func (s *Sniffer) Tune(arfcns ...int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := 0
+	for _, a := range arfcns {
+		if _, ok := s.cancels[a]; !ok {
+			fresh++
+		}
+	}
+	if len(s.cancels)+fresh > s.cfg.MaxReceivers {
+		return fmt.Errorf("%w: tuned %d, requested %d more, capacity %d",
+			ErrTooManyReceivers, len(s.cancels), fresh, s.cfg.MaxReceivers)
+	}
+	for _, a := range arfcns {
+		if _, ok := s.cancels[a]; ok {
+			continue
+		}
+		cancel := s.net.Subscribe(a, s.Feed)
+		s.cancels[a] = cancel
+	}
+	return nil
+}
+
+// Tuned returns the currently tuned ARFCNs, sorted.
+func (s *Sniffer) Tuned() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.cancels))
+	for a := range s.cancels {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stop releases all receivers.
+func (s *Sniffer) Stop() {
+	s.mu.Lock()
+	cancels := make([]func(), 0, len(s.cancels))
+	for _, c := range s.cancels {
+		cancels = append(cancels, c)
+	}
+	s.cancels = make(map[int]func())
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Feed processes one burst. It is the Subscribe callback, and is also
+// exported for replaying recorded traffic (failure-injection tests
+// feed lossy traces directly).
+func (s *Sniffer) Feed(b telecom.RadioBurst) {
+	s.mu.Lock()
+	s.stats.BurstsSeen++
+	sess, ok := s.sessions[b.SessionID]
+	if !ok {
+		sess = &session{bursts: make(map[int]telecom.RadioBurst), total: b.Total}
+		s.sessions[b.SessionID] = sess
+	}
+	sess.bursts[b.Seq] = b
+	complete := len(sess.bursts) == sess.total
+	if complete {
+		delete(s.sessions, b.SessionID)
+		s.stats.SessionsComplete++
+	}
+	s.mu.Unlock()
+
+	if complete {
+		s.processSession(sess)
+	}
+}
+
+// processSession cracks (if needed), decodes and records one complete
+// transmission.
+func (s *Sniffer) processSession(sess *session) {
+	paging, ok := sess.bursts[0]
+	if !ok {
+		return // lost the paging burst: no known plaintext, no crack
+	}
+
+	var (
+		kc        uint64
+		crackTime time.Duration
+	)
+	if paging.Encrypted {
+		start := time.Now()
+		ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.stats.CracksAttempted++
+		s.mu.Unlock()
+		kc, err = a51.RecoverKeyParallel(context.Background(), ks, paging.Frame, s.net.KeySpace(), s.cfg.CrackWorkers)
+		if err != nil {
+			return
+		}
+		crackTime = time.Since(start)
+		s.mu.Lock()
+		s.stats.CracksSucceeded++
+		s.mu.Unlock()
+	}
+
+	tpdu := make([]byte, 0, (sess.total-1)*16)
+	for seq := 1; seq < sess.total; seq++ {
+		b, ok := sess.bursts[seq]
+		if !ok {
+			return // lost a payload burst
+		}
+		payload := b.Payload
+		if b.Encrypted {
+			payload = a51.EncryptBurst(kc, b.Frame, payload)
+		}
+		tpdu = append(tpdu, payload...)
+	}
+	msg, err := gsmcodec.UnmarshalDeliver(tpdu)
+	if err != nil {
+		return
+	}
+
+	capt := Capture{
+		ARFCN:      paging.ARFCN,
+		CellID:     paging.CellID,
+		SessionID:  paging.SessionID,
+		Originator: msg.Originator,
+		Text:       msg.Text,
+		Timestamp:  msg.Timestamp,
+		Encrypted:  paging.Encrypted,
+		Kc:         kc,
+		CrackTime:  crackTime,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.MessagesDecoded++
+	if s.cfg.Filter != nil && !s.cfg.Filter.Match(capt) {
+		s.stats.FilteredOut++
+		return
+	}
+	s.captures = append(s.captures, capt)
+}
+
+// Captures returns a copy of recorded (filter-matching) messages.
+func (s *Sniffer) Captures() []Capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Capture(nil), s.captures...)
+}
+
+// Stats returns a snapshot of run counters.
+func (s *Sniffer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// WaitForCode polls until a capture whose text matches filter appears,
+// or ctx expires. It is the primitive the attack orchestrator uses:
+// "trigger the reset, then wait for the code to fly by".
+func (s *Sniffer) WaitForCode(ctx context.Context, f Filter) (Capture, error) {
+	seen := 0
+	for {
+		s.mu.Lock()
+		for ; seen < len(s.captures); seen++ {
+			if f == nil || f.Match(s.captures[seen]) {
+				c := s.captures[seen]
+				s.mu.Unlock()
+				return c, nil
+			}
+		}
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Capture{}, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

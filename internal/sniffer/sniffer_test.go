@@ -1,0 +1,264 @@
+package sniffer
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// rig builds a network with one A5/1 cell on three ARFCNs and an
+// attached GSM victim.
+func rig(t *testing.T, cfg Config) (*telecom.Network, *telecom.Subscriber, *Sniffer) {
+	t.Helper()
+	n := telecom.NewNetwork(telecom.Config{
+		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: 10},
+		Seed:     11,
+	})
+	cell, err := n.AddCell(telecom.Cell{ID: "cell-1", ARFCNs: []int{512, 513, 514}, Cipher: telecom.CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n.Register("460000000000001", "+8613800000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := n.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, cfg)
+	t.Cleanup(s.Stop)
+	return n, sub, s
+}
+
+func TestSniffEncryptedSMS(t *testing.T) {
+	n, sub, s := rig(t, Config{})
+	if err := s.Tune(512, 513, 514); err != nil {
+		t.Fatal(err)
+	}
+	want := "G-845512 is your Google verification code."
+	if _, err := n.SendSMS("Google", sub.MSISDN, want); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("captures = %d want 1", len(caps))
+	}
+	c := caps[0]
+	if c.Text != want || c.Originator != "Google" || !c.Encrypted {
+		t.Errorf("capture = %+v", c)
+	}
+	if c.Kc == 0 {
+		t.Error("no session key recovered")
+	}
+	if !n.KeySpace().Contains(c.Kc) {
+		t.Error("recovered Kc outside network key space")
+	}
+	stats := s.Stats()
+	if stats.CracksAttempted != 1 || stats.CracksSucceeded != 1 {
+		t.Errorf("crack stats = %+v", stats)
+	}
+	line := c.WiresharkLine()
+	if !strings.Contains(line, "Google") || !strings.Contains(line, "A5/1") {
+		t.Errorf("WiresharkLine = %q", line)
+	}
+}
+
+func TestPartialTuningMissesOtherChannels(t *testing.T) {
+	n, sub, s := rig(t, Config{})
+	if err := s.Tune(512); err != nil { // only 1 of 3 channels covered
+		t.Fatal(err)
+	}
+	const msgs = 30
+	for i := 0; i < msgs; i++ {
+		if _, err := n.SendSMS("Svc", sub.MSISDN, "code 111111"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := len(s.Captures())
+	if got == 0 || got == msgs {
+		t.Fatalf("1/3 coverage captured %d of %d; want strictly partial", got, msgs)
+	}
+	// Sessions hash round-robin over 3 ARFCNs: expect about a third.
+	if got < msgs/6 || got > msgs*2/3 {
+		t.Errorf("capture rate %d/%d implausible for 1/3 coverage", got, msgs)
+	}
+}
+
+func TestReceiverCapacity(t *testing.T) {
+	_, _, s := rig(t, Config{MaxReceivers: 2})
+	if err := s.Tune(512, 513); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tune(514); !errors.Is(err, ErrTooManyReceivers) {
+		t.Fatalf("over-capacity Tune err = %v", err)
+	}
+	// Re-tuning existing channels consumes no receivers.
+	if err := s.Tune(512, 513); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tuned(); len(got) != 2 || got[0] != 512 || got[1] != 513 {
+		t.Errorf("Tuned = %v", got)
+	}
+	s.Stop()
+	if got := s.Tuned(); len(got) != 0 {
+		t.Errorf("Tuned after Stop = %v", got)
+	}
+}
+
+func TestFilterRestrictsCaptures(t *testing.T) {
+	n, sub, s := rig(t, Config{Filter: MustFilter(`sms.text contains "code"`)})
+	if err := s.Tune(512, 513, 514); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendSMS("Google", sub.MSISDN, "your code is 123456"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendSMS("Mom", sub.MSISDN, "dinner at eight"); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures()
+	if len(caps) != 1 || !strings.Contains(caps[0].Text, "code") {
+		t.Fatalf("filtered captures = %+v", caps)
+	}
+	stats := s.Stats()
+	if stats.MessagesDecoded != 2 || stats.FilteredOut != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPlaintextCellNeedsNoCrack(t *testing.T) {
+	n := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: 2})
+	cell, _ := n.AddCell(telecom.Cell{ID: "open", ARFCNs: []int{100}, Cipher: telecom.CipherA50})
+	sub, _ := n.Register("i", "+8613800000009")
+	term, _ := n.NewTerminal(sub, telecom.RATGSM)
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, Config{})
+	defer s.Stop()
+	if err := s.Tune(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendSMS("Bank", sub.MSISDN, "pin 0000"); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures()
+	if len(caps) != 1 || caps[0].Encrypted || caps[0].Kc != 0 {
+		t.Fatalf("captures = %+v", caps)
+	}
+	if s.Stats().CracksAttempted != 0 {
+		t.Error("crack attempted on plaintext traffic")
+	}
+}
+
+// Failure injection: losing any single burst of a session kills the
+// capture, but other sessions are unaffected.
+func TestBurstLossDropsSession(t *testing.T) {
+	n, sub, _ := rig(t, Config{})
+	// Record the raw bursts without tuning the sniffer.
+	var bursts []telecom.RadioBurst
+	for _, a := range []int{512, 513, 514} {
+		cancel := n.Subscribe(a, func(b telecom.RadioBurst) { bursts = append(bursts, b) })
+		defer cancel()
+	}
+	if _, err := n.SendSMS("Google", sub.MSISDN, "G-111222 is your code"); err != nil {
+		t.Fatal(err)
+	}
+	for drop := 0; drop < len(bursts); drop++ {
+		fresh := New(n, Config{})
+		for i, b := range bursts {
+			if i == drop {
+				continue
+			}
+			fresh.Feed(b)
+		}
+		if got := len(fresh.Captures()); got != 0 {
+			t.Errorf("dropping burst %d still yielded %d captures", drop, got)
+		}
+	}
+	// Feeding all bursts works.
+	full := New(n, Config{})
+	for _, b := range bursts {
+		full.Feed(b)
+	}
+	if got := len(full.Captures()); got != 1 {
+		t.Errorf("full replay captures = %d want 1", got)
+	}
+}
+
+func TestWaitForCode(t *testing.T) {
+	n, sub, s := rig(t, Config{})
+	if err := s.Tune(512, 513, 514); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Capture, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		c, err := s.WaitForCode(ctx, MustFilter(`sms.src == "PayPal"`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := n.SendSMS("PayPal", sub.MSISDN, "PayPal: 998877"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-done:
+		if c.Originator != "PayPal" {
+			t.Errorf("capture = %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitForCode never returned")
+	}
+}
+
+func TestWaitForCodeTimeout(t *testing.T) {
+	_, _, s := rig(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.WaitForCode(ctx, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkSniffAndCrack10Bit(b *testing.B) {
+	n := telecom.NewNetwork(telecom.Config{
+		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: 10},
+		Seed:     11,
+	})
+	cell, _ := n.AddCell(telecom.Cell{ID: "c", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	sub, _ := n.Register("i", "+8613800000001")
+	term, _ := n.NewTerminal(sub, telecom.RATGSM)
+	if err := term.Attach(cell); err != nil {
+		b.Fatal(err)
+	}
+	s := New(n, Config{})
+	defer s.Stop()
+	if err := s.Tune(512); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(s.Captures()) != b.N {
+		b.Fatalf("captured %d of %d", len(s.Captures()), b.N)
+	}
+}

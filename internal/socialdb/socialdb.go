@@ -1,0 +1,101 @@
+// Package socialdb models the attacker's out-of-band information
+// sources from §V.A.1: leaked personal-information databases used for
+// targeted attacks ("the attacker could utilize the existing illegal
+// databases of leaked personal information") and the phishing-WiFi
+// harvester used for random attacks at airports and railway stations.
+//
+// All data here is synthetic (see internal/identity); the package
+// exists to give the attack orchestrator the same two entry points the
+// paper assumes: a victim phone number, and optionally a name/address.
+package socialdb
+
+import (
+	"errors"
+	"sync"
+)
+
+// Record is one leaked entry keyed by phone number.
+type Record struct {
+	Phone     string
+	RealName  string
+	Address   string
+	CitizenID string
+	// Source labels provenance ("2016-breach", "phishing-wifi", ...).
+	Source string
+}
+
+// ErrNotFound reports a phone with no leaked record.
+var ErrNotFound = errors.New("socialdb: no record for phone")
+
+// DB is an in-memory leaked-records store. Safe for concurrent use.
+type DB struct {
+	mu      sync.Mutex
+	byPhone map[string]Record
+}
+
+// New builds an empty DB.
+func New() *DB {
+	return &DB{byPhone: make(map[string]Record)}
+}
+
+// Add inserts or replaces a record (last write wins, as merged dumps
+// behave).
+func (d *DB) Add(r Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.byPhone[r.Phone] = r
+}
+
+// Lookup fetches the record for a phone number.
+func (d *DB) Lookup(phone string) (Record, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.byPhone[phone]
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return r, nil
+}
+
+// Len reports the number of records.
+func (d *DB) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byPhone)
+}
+
+// PhishingWiFi is the random-attack harvester: a fake access point at
+// a crowded venue collecting the phone numbers of nearby victims.
+type PhishingWiFi struct {
+	// SSID is the bait network name.
+	SSID string
+
+	mu       sync.Mutex
+	captured []string
+	seen     map[string]bool
+}
+
+// NewPhishingWiFi deploys a fake AP.
+func NewPhishingWiFi(ssid string) *PhishingWiFi {
+	return &PhishingWiFi{SSID: ssid, seen: make(map[string]bool)}
+}
+
+// Observe records a victim's phone number (dedup by number); it
+// returns true when the number is new.
+func (w *PhishingWiFi) Observe(phone string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seen[phone] {
+		return false
+	}
+	w.seen[phone] = true
+	w.captured = append(w.captured, phone)
+	return true
+}
+
+// Harvested returns captured numbers in observation order.
+func (w *PhishingWiFi) Harvested() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.captured...)
+}

@@ -1,0 +1,269 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/tdg"
+)
+
+// PlanStep is one compromise in an attack plan: take over Account via
+// PathID after the Parents (earlier in the plan) have fallen. Fringe
+// roots have no parents — they fall to phone + SMS code alone.
+type PlanStep struct {
+	Account ecosys.AccountID
+	PathID  string
+	Parents []ecosys.AccountID
+}
+
+// Plan is an ordered Chain Reaction Attack: executing the steps in
+// sequence compromises Target. It is the "account chain" §III.E's
+// backward search returns.
+type Plan struct {
+	Target ecosys.AccountID
+	Steps  []PlanStep
+}
+
+// Depth returns the number of compromise layers (fringe roots are
+// layer 1).
+func (p *Plan) Depth() int {
+	depth := make(map[ecosys.AccountID]int, len(p.Steps))
+	maxD := 0
+	for _, s := range p.Steps {
+		d := 1
+		for _, parent := range s.Parents {
+			if pd, ok := depth[parent]; ok && pd+1 > d {
+				d = pd + 1
+			}
+		}
+		depth[s.Account] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// String renders the plan as "a/web -> b/web -> target/web".
+func (p *Plan) String() string {
+	names := make([]string, 0, len(p.Steps))
+	for _, s := range p.Steps {
+		names = append(names, s.Account.String())
+	}
+	return strings.Join(names, " -> ")
+}
+
+// Common errors.
+var (
+	// ErrNoPlan reports that no chain reaches the target: every route
+	// dead-ends in unphishable factors or exceeds the depth bound.
+	ErrNoPlan = errors.New("strategy: no attack plan reaches the target")
+	// ErrUnknownTarget reports a target not present in the graph.
+	ErrUnknownTarget = errors.New("strategy: target not in graph")
+)
+
+// searchBudget caps option expansions per FindPlan call so that
+// pathological graphs terminate promptly.
+const searchBudget = 200_000
+
+// FindPlan returns a minimal-step attack plan compromising target,
+// searching backward through full-capacity parents and merged couple
+// groups, bounded by maxDepth layers (0 means the default of 5).
+func FindPlan(g *tdg.Graph, target ecosys.AccountID, maxDepth int) (*Plan, error) {
+	if maxDepth <= 0 {
+		maxDepth = 5
+	}
+	if _, ok := g.Node(target); !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTarget, target)
+	}
+
+	s := &searcher{g: g, maxDepth: maxDepth, budget: searchBudget}
+	steps, ok := s.solve(target, make(map[ecosys.AccountID]bool), maxDepth)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (depth <= %d)", ErrNoPlan, target, maxDepth)
+	}
+	return &Plan{Target: target, Steps: steps}, nil
+}
+
+type searcher struct {
+	g        *tdg.Graph
+	maxDepth int
+	budget   int
+	// optionsByNode caches per-target provider options; without it the
+	// DFS rescans every strong edge at each expansion, which is
+	// quadratic on dense graphs.
+	optionsByNode map[ecosys.AccountID][]option
+}
+
+// option is one way to satisfy a node: a set of providers for a path.
+type option struct {
+	pathID  string
+	parents []ecosys.AccountID
+}
+
+// options enumerates single full-capacity parents first (cheapest),
+// then couple groups. The full index is built once per search.
+func (s *searcher) options(id ecosys.AccountID) []option {
+	if s.optionsByNode == nil {
+		s.optionsByNode = make(map[ecosys.AccountID][]option)
+		seen := make(map[string]bool)
+		for _, e := range s.g.StrongEdges() {
+			key := e.To.String() + "|" + e.From.String() + "|" + e.PathID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			s.optionsByNode[e.To] = append(s.optionsByNode[e.To],
+				option{pathID: e.PathID, parents: []ecosys.AccountID{e.From}})
+		}
+		for _, c := range s.g.Couples(ecosys.AccountID{}) {
+			s.optionsByNode[c.Target] = append(s.optionsByNode[c.Target],
+				option{pathID: c.PathID, parents: append([]ecosys.AccountID(nil), c.Members...)})
+		}
+	}
+	return s.optionsByNode[id]
+}
+
+// fringePath returns the path ID a fringe node falls by.
+func (s *searcher) fringePath(id ecosys.AccountID) string {
+	node, _ := s.g.Node(id)
+	ap := s.g.Profile()
+	for _, p := range node.Paths {
+		if p.Purpose != ecosys.PurposeSignIn && p.Purpose != ecosys.PurposeReset {
+			continue
+		}
+		if ap.CanSatisfy(p) {
+			return p.ID
+		}
+	}
+	return ""
+}
+
+// solve returns a step list whose execution compromises id. stack
+// guards against cycles along the current route.
+func (s *searcher) solve(id ecosys.AccountID, stack map[ecosys.AccountID]bool, depthLeft int) ([]PlanStep, bool) {
+	if s.budget <= 0 || depthLeft <= 0 || stack[id] {
+		return nil, false
+	}
+	s.budget--
+
+	if s.g.IsFringe(id) {
+		return []PlanStep{{Account: id, PathID: s.fringePath(id)}}, true
+	}
+
+	stack[id] = true
+	defer delete(stack, id)
+
+	var best []PlanStep
+	for _, opt := range s.options(id) {
+		merged := make([]PlanStep, 0, 4)
+		have := make(map[ecosys.AccountID]bool)
+		ok := true
+		for _, parent := range opt.parents {
+			if have[parent] {
+				continue
+			}
+			sub, solved := s.solve(parent, stack, depthLeft-1)
+			if !solved {
+				ok = false
+				break
+			}
+			for _, step := range sub {
+				if !have[step.Account] {
+					have[step.Account] = true
+					merged = append(merged, step)
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		merged = append(merged, PlanStep{Account: id, PathID: opt.pathID, Parents: opt.parents})
+		if best == nil || len(merged) < len(best) {
+			best = merged
+		}
+	}
+	return best, best != nil
+}
+
+// FindPlans enumerates up to limit distinct plans for target, shortest
+// first, by iteratively excluding the first-hop option of each found
+// plan. It is a diversity heuristic, not an exhaustive enumeration.
+func FindPlans(g *tdg.Graph, target ecosys.AccountID, maxDepth, limit int) ([]*Plan, error) {
+	first, err := FindPlan(g, target, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	plans := []*Plan{first}
+	if limit <= 1 {
+		return plans, nil
+	}
+	seen := map[string]bool{first.String(): true}
+	// Re-run the search with each immediate parent suppressed by
+	// removing it from the plan's last step options via a filtered
+	// graph view. The graph is immutable, so emulate by rejecting
+	// plans that repeat a seen signature.
+	for attempt := 0; attempt < 8*limit && len(plans) < limit; attempt++ {
+		s := &searcher{g: g, maxDepth: maxDepth, budget: searchBudget}
+		if maxDepth <= 0 {
+			s.maxDepth = 5
+		}
+		steps, ok := s.solveExcluding(target, make(map[ecosys.AccountID]bool), s.maxDepth, plans[len(plans)-1].Steps[len(plans[len(plans)-1].Steps)-1].Parents, attempt)
+		if !ok {
+			break
+		}
+		p := &Plan{Target: target, Steps: steps}
+		if seen[p.String()] {
+			break
+		}
+		seen[p.String()] = true
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// solveExcluding is solve with the target's first `skip+1` options
+// rotated away, to force plan diversity.
+func (s *searcher) solveExcluding(id ecosys.AccountID, stack map[ecosys.AccountID]bool, depthLeft int, _ []ecosys.AccountID, skip int) ([]PlanStep, bool) {
+	opts := s.options(id)
+	if len(opts) <= 1 {
+		return nil, false
+	}
+	rot := (skip + 1) % len(opts)
+	opts = append(opts[rot:], opts[:rot]...)
+
+	if s.g.IsFringe(id) {
+		return []PlanStep{{Account: id, PathID: s.fringePath(id)}}, true
+	}
+	stack[id] = true
+	defer delete(stack, id)
+	for _, opt := range opts {
+		merged := make([]PlanStep, 0, 4)
+		have := make(map[ecosys.AccountID]bool)
+		ok := true
+		for _, parent := range opt.parents {
+			if have[parent] {
+				continue
+			}
+			sub, solved := s.solve(parent, stack, depthLeft-1)
+			if !solved {
+				ok = false
+				break
+			}
+			for _, step := range sub {
+				if !have[step.Account] {
+					have[step.Account] = true
+					merged = append(merged, step)
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		merged = append(merged, PlanStep{Account: id, PathID: opt.pathID, Parents: opt.parents})
+		return merged, true
+	}
+	return nil, false
+}

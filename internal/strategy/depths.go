@@ -1,0 +1,192 @@
+package strategy
+
+import (
+	"math"
+
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/tdg"
+)
+
+// Unreachable is the depth of an account no chain compromises.
+const Unreachable = math.MaxInt32
+
+// DepthStats reproduces the paper's §IV.B.1 dependency percentages
+// with the paper's own overlapping semantics: one service can have
+// multiple reset combinations, so it may count in several categories
+// at once ("the overall percentage can not be summed up to 100%").
+type DepthStats struct {
+	Total int
+	// Direct: some path falls to the attacker profile alone (depth 1).
+	Direct int
+	// OneMiddle: some path needs exactly one layer of middle accounts
+	// (depth 2).
+	OneMiddle int
+	// TwoLayerFull: some depth-3 path where a single full-capacity
+	// parent covers it.
+	TwoLayerFull int
+	// TwoLayerCouple: some depth-3 path needing jointly contributing
+	// half-capacity parents.
+	TwoLayerCouple int
+	// Uncompromisable: no chain of any depth reaches the account.
+	Uncompromisable int
+}
+
+// Pct converts a count to a percentage of Total.
+func (s DepthStats) Pct(n int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(s.Total)
+}
+
+// needKey indexes supplier lists by (target account, missing factor).
+type needKey struct {
+	id ecosys.AccountID
+	f  ecosys.FactorKind
+}
+
+// depthAnalysis carries the converged state shared by AccountDepths
+// and PathLayers.
+type depthAnalysis struct {
+	g         *tdg.Graph
+	apFactors ecosys.FactorSet
+	suppliers map[needKey][]ecosys.AccountID
+	depth     map[ecosys.AccountID]int
+}
+
+func newDepthAnalysis(g *tdg.Graph) *depthAnalysis {
+	ap := g.Profile()
+	a := &depthAnalysis{
+		g:         g,
+		apFactors: ap.Factors(),
+		suppliers: make(map[needKey][]ecosys.AccountID),
+		depth:     make(map[ecosys.AccountID]int, g.Len()),
+	}
+	for _, id := range g.Nodes() {
+		a.depth[id] = Unreachable
+		node, _ := g.Node(id)
+		for _, p := range takeoverOf(node) {
+			for _, f := range p.Factors {
+				if a.apFactors.Has(f) {
+					continue
+				}
+				k := needKey{id, f}
+				if _, done := a.suppliers[k]; !done {
+					a.suppliers[k] = g.Suppliers(id, f)
+				}
+			}
+		}
+	}
+	a.converge()
+	return a
+}
+
+// converge runs the monotone fixpoint: a path's depth is 1 + the max
+// over its missing factors of the min depth of any supplier; an
+// account's depth is the min over its takeover paths. Depths only
+// decrease from Unreachable, so the iteration terminates in at most
+// |nodes| sweeps.
+func (a *depthAnalysis) converge() {
+	for changed := true; changed; {
+		changed = false
+		for _, id := range a.g.Nodes() {
+			node, _ := a.g.Node(id)
+			best := a.depth[id]
+			for _, p := range takeoverOf(node) {
+				if d := a.pathDepth(id, p); d < best {
+					best = d
+				}
+			}
+			if best < a.depth[id] {
+				a.depth[id] = best
+				changed = true
+			}
+		}
+	}
+}
+
+// pathDepth evaluates one path under the current estimates.
+func (a *depthAnalysis) pathDepth(id ecosys.AccountID, p ecosys.AuthPath) int {
+	worst := 0
+	for _, f := range p.Factors {
+		if a.apFactors.Has(f) {
+			continue
+		}
+		bestProv := Unreachable
+		for _, prov := range a.suppliers[needKey{id, f}] {
+			if d := a.depth[prov]; d < bestProv {
+				bestProv = d
+			}
+		}
+		if bestProv == Unreachable {
+			return Unreachable
+		}
+		if bestProv > worst {
+			worst = bestProv
+		}
+	}
+	return worst + 1
+}
+
+func takeoverOf(node *tdg.Node) []ecosys.AuthPath {
+	var out []ecosys.AuthPath
+	for _, p := range node.Paths {
+		if p.Purpose == ecosys.PurposeSignIn || p.Purpose == ecosys.PurposeReset {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AccountDepths computes, for every account, the minimal number of
+// compromise layers needed to take it over (1 = attacker profile
+// alone, Unreachable = never).
+func AccountDepths(g *tdg.Graph) map[ecosys.AccountID]int {
+	a := newDepthAnalysis(g)
+	out := make(map[ecosys.AccountID]int, len(a.depth))
+	for id, d := range a.depth {
+		out[id] = d
+	}
+	return out
+}
+
+// PathLayers computes the overlapping dependency statistics of
+// §IV.B.1 over a graph.
+func PathLayers(g *tdg.Graph) DepthStats {
+	a := newDepthAnalysis(g)
+	st := DepthStats{Total: g.Len()}
+	for _, id := range g.Nodes() {
+		node, _ := g.Node(id)
+		var direct, oneMiddle, twoFull, twoCouple bool
+		for _, p := range takeoverOf(node) {
+			switch a.pathDepth(id, p) {
+			case 1:
+				direct = true
+			case 2:
+				oneMiddle = true
+			case 3:
+				if g.HasStrongFor(id, p.ID) {
+					twoFull = true
+				} else {
+					twoCouple = true
+				}
+			}
+		}
+		if direct {
+			st.Direct++
+		}
+		if oneMiddle {
+			st.OneMiddle++
+		}
+		if twoFull {
+			st.TwoLayerFull++
+		}
+		if twoCouple {
+			st.TwoLayerCouple++
+		}
+		if a.depth[id] == Unreachable {
+			st.Uncompromisable++
+		}
+	}
+	return st
+}

@@ -1,0 +1,160 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/tdg"
+)
+
+// equalResults asserts two closure results agree completely.
+func equalResults(t *testing.T, a, b *ForwardResult) {
+	t.Helper()
+	if len(a.Compromised) != len(b.Compromised) {
+		t.Fatalf("compromised counts differ: %d vs %d", len(a.Compromised), len(b.Compromised))
+	}
+	for id, ca := range a.Compromised {
+		cb, ok := b.Compromised[id]
+		if !ok {
+			t.Fatalf("%s compromised by rescan only", id)
+		}
+		if ca.Round != cb.Round {
+			t.Errorf("%s: round %d vs %d", id, ca.Round, cb.Round)
+		}
+		if ca.UsedCouple != cb.UsedCouple {
+			t.Errorf("%s: usedCouple %v vs %v", id, ca.UsedCouple, cb.UsedCouple)
+		}
+	}
+	if !reflect.DeepEqual(sortedIDs(a.Survivors), sortedIDs(b.Survivors)) {
+		t.Errorf("survivors differ: %v vs %v", a.Survivors, b.Survivors)
+	}
+	if a.FinalInfo.Len() != b.FinalInfo.Len() {
+		t.Errorf("final info sizes differ: %d vs %d", a.FinalInfo.Len(), b.FinalInfo.Len())
+	}
+}
+
+func sortedIDs(in []ecosys.AccountID) []string {
+	out := make([]string, 0, len(in))
+	for _, id := range in {
+		out = append(out, id.String())
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func TestIndexedClosureMatchesRescanOnFixture(t *testing.T) {
+	g := fixtureGraph(t)
+	a, err := ForwardClosure(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForwardClosureIndexed(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, a, b)
+}
+
+func TestIndexedClosureMatchesWithInitialSet(t *testing.T) {
+	g := fixtureGraph(t)
+	initial := []ecosys.AccountID{aid("paypal", ecosys.PlatformWeb)}
+	a, err := ForwardClosure(g, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForwardClosureIndexed(g, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, a, b)
+	if _, err := ForwardClosureIndexed(g, []ecosys.AccountID{aid("nope", ecosys.PlatformWeb)}); err == nil {
+		t.Error("unknown initial account accepted")
+	}
+}
+
+func TestIndexedClosureMatchesOnLayeredGraph(t *testing.T) {
+	g := benchGraph(t)
+	a, err := ForwardClosure(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForwardClosureIndexed(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, a, b)
+}
+
+func TestIndexedClosureMatchesOnCalibratedCatalog(t *testing.T) {
+	cat := dataset.MustDefault()
+	for _, platforms := range [][]ecosys.Platform{
+		{ecosys.PlatformWeb}, {ecosys.PlatformMobile}, nil,
+	} {
+		g, err := tdg.Build(tdg.NodesFromCatalog(cat, platforms...), ecosys.BaselineAttacker())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ForwardClosure(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ForwardClosureIndexed(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, a, b)
+	}
+}
+
+func TestIndexedClosureCycleSafe(t *testing.T) {
+	web := ecosys.PlatformWeb
+	nodes := []tdg.Node{
+		{
+			ID:      aid("a", web),
+			Paths:   []ecosys.AuthPath{{ID: "r", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorSMSCode, ecosys.FactorRealName}}},
+			Exposes: ecosys.NewInfoSet(ecosys.InfoCitizenID),
+		},
+		{
+			ID:      aid("b", web),
+			Paths:   []ecosys.AuthPath{{ID: "r", Purpose: ecosys.PurposeReset, Factors: []ecosys.FactorKind{ecosys.FactorSMSCode, ecosys.FactorCitizenID}}},
+			Exposes: ecosys.NewInfoSet(ecosys.InfoRealName),
+		},
+	}
+	g, err := tdg.Build(nodes, ecosys.BaselineAttacker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ForwardClosureIndexed(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimCount() != 0 || len(res.Survivors) != 2 {
+		t.Errorf("cyclic indexed closure: %d victims, %d survivors", res.VictimCount(), len(res.Survivors))
+	}
+}
+
+func BenchmarkClosureRescan(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ForwardClosure(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClosureIndexed(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ForwardClosureIndexed(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
