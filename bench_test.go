@@ -133,28 +133,40 @@ func BenchmarkE6PassiveSniff(b *testing.B) {
 	}
 }
 
-// E7 / Fig 7+10 — the complete active MitM takeover sequence.
+// E7 / Fig 7+10 — the complete active MitM takeover sequence, with
+// and without the pre-attack A5/1 crack probe (the probe adds one
+// passive key recovery to the otherwise crack-free active path).
 func BenchmarkE7ActiveMitM(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		net := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: int64(i)})
-		cell, _ := net.AddCell(telecom.Cell{ID: "lbs", ARFCNs: []int{512}, Cipher: telecom.CipherA51, LTE: true})
-		vs, _ := net.Register("46000111", "+8613912345678")
-		victim, _ := net.NewTerminal(vs, telecom.RATLTE)
-		if err := victim.Attach(cell); err != nil {
-			b.Fatal(err)
-		}
-		as, _ := net.Register("46000222", "+8613800000222")
-		attacker, _ := net.NewTerminal(as, telecom.RATGSM)
-		if err := attacker.Attach(cell); err != nil {
-			b.Fatal(err)
-		}
-		atk, _ := mitm.New(net, victim, cell, attacker, mitm.Config{})
-		b.StartTimer()
-		if _, err := atk.Run(); err != nil {
-			b.Fatal(err)
-		}
+	for _, probe := range []struct {
+		name string
+		cfg  mitm.Config
+	}{
+		{"probe=off", mitm.Config{}},
+		{"probe=bitsliced", mitm.Config{Cracker: a51.Bitsliced{}}},
+	} {
+		b.Run(probe.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := telecom.NewNetwork(telecom.Config{KeySpace: a51.KeySpace{Bits: 8}, Seed: int64(i)})
+				cell, _ := net.AddCell(telecom.Cell{ID: "lbs", ARFCNs: []int{512}, Cipher: telecom.CipherA51, LTE: true})
+				vs, _ := net.Register("46000111", "+8613912345678")
+				victim, _ := net.NewTerminal(vs, telecom.RATLTE)
+				if err := victim.Attach(cell); err != nil {
+					b.Fatal(err)
+				}
+				as, _ := net.Register("46000222", "+8613800000222")
+				attacker, _ := net.NewTerminal(as, telecom.RATGSM)
+				if err := attacker.Attach(cell); err != nil {
+					b.Fatal(err)
+				}
+				atk, _ := mitm.New(net, victim, cell, attacker, probe.cfg)
+				b.StartTimer()
+				if _, err := atk.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -365,21 +377,44 @@ func BenchmarkAblationCoupleSize(b *testing.B) {
 	}
 }
 
-// Ablation: A5/1 crack cost vs key-space size (the rainbow-table
-// stand-in, DESIGN.md §5).
+// Ablation: A5/1 crack cost vs key-space size × search backend (the
+// rainbow-table stand-in, DESIGN.md §5). "seed" is the original
+// exhaustive search (full 228-bit burst generated per candidate);
+// "table" measures the amortized post-build lookup cost, with the
+// one-off precomputation excluded from the timer exactly as the real
+// attack excludes the Kraken table download.
 func BenchmarkAblationCrackKeyspace(b *testing.B) {
+	const frame = 7
 	for _, bits := range []int{8, 12, 16} {
-		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
-			space := a51.KeySpace{Base: 0xC118000000000000, Bits: bits}
-			kc := space.Key(space.Size() - 1) // worst case
-			down, _ := a51.New(kc, 7).KeystreamBurst()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := a51.RecoverKeyParallel(context.Background(), down[:8], 7, space, 0); err != nil {
-					b.Fatal(err)
+		space := a51.KeySpace{Base: 0xC118000000000000, Bits: bits}
+		n, ok := space.Size()
+		if !ok {
+			b.Fatal("key space too large")
+		}
+		kc := space.Key(n - 1) // worst case for sweeping backends
+		down, _ := a51.New(kc, frame).KeystreamBurst()
+		table, err := a51.BuildTable(space, a51.TableConfig{Frames: []uint32{frame}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, backend := range []struct {
+			name string
+			cr   a51.Cracker
+		}{
+			{"seed", a51.Exhaustive{Workers: 1, FullBurst: true}},
+			{"exhaustive", a51.Exhaustive{Workers: 1}},
+			{"parallel", a51.Exhaustive{}},
+			{"bitsliced", a51.Bitsliced{}},
+			{"table", table},
+		} {
+			b.Run(fmt.Sprintf("bits=%d/backend=%s", bits, backend.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := backend.cr.Recover(context.Background(), down[:8], frame, space); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

@@ -4,15 +4,25 @@
 // the sniffer cracks the session keys and prints Wireshark-style
 // capture lines filtered by a display-filter expression.
 //
+// The key-recovery backend is pluggable: -backend selects the
+// exhaustive sweep, the 64-lane bitsliced search (default), or the
+// Kraken-style precomputed TMTO table; -table-file persists the table
+// across runs so the precomputation is paid once.
+//
 // Usage:
 //
 //	gsmsniff [-receivers 16] [-victims 4] [-filter 'sms.text contains "code"']
+//	         [-keybits 12] [-backend bitsliced|exhaustive|parallel|table]
+//	         [-table-file kraken.tbl] [-chainlen 32]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"time"
 
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/identity"
@@ -26,18 +36,44 @@ func main() {
 		victims   = flag.Int("victims", 4, "victims in the cell")
 		filterSrc = flag.String("filter", `sms.text contains "code"`, "display filter")
 		keyBits   = flag.Int("keybits", 12, "A5/1 session-key space bits")
+		backend   = flag.String("backend", "bitsliced", "key-recovery backend: exhaustive|parallel|bitsliced|table")
+		tableFile = flag.String("table-file", "", "with -backend table: load the TMTO table from this file if it exists, else build and save it")
+		chainLen  = flag.Int("chainlen", 0, "with -backend table: distinguished-point chain length (0 = default)")
 	)
 	flag.Parse()
+
+	// telecom.NewNetwork silently substitutes its 16-bit default for
+	// Bits <= 0, which would diverge from the space the cracker was
+	// built for; reject out-of-range values up front.
+	if *keyBits < 1 || *keyBits > 24 {
+		fatal(fmt.Errorf("keybits must be in [1, 24], got %d", *keyBits))
+	}
 
 	f, err := sniffer.ParseFilter(*filterSrc)
 	if err != nil {
 		fatal(err)
 	}
 
-	net := telecom.NewNetwork(telecom.Config{
-		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: *keyBits},
-		Seed:     7,
-	})
+	space := a51.KeySpace{Base: 0xC118000000000000, Bits: *keyBits}
+	netCfg := telecom.Config{KeySpace: space, Seed: 7}
+	var cracker a51.Cracker
+	if *backend == "table" {
+		// The table covers frames [0, DefaultTableFrames); wrap the
+		// network's cipher counter into that window so every session
+		// resolves by lookup.
+		netCfg.FrameWrap = a51.DefaultTableFrames
+		table, err := obtainTable(space, *tableFile, *chainLen)
+		if err != nil {
+			fatal(err)
+		}
+		cracker = table
+	} else {
+		if cracker, err = a51.NewCracker(*backend, space, 0); err != nil {
+			fatal(err)
+		}
+	}
+
+	net := telecom.NewNetwork(netCfg)
 	cell, err := net.AddCell(telecom.Cell{
 		ID: "cell-plaza", ARFCNs: []int{512, 513, 514, 515}, Cipher: telecom.CipherA51,
 	})
@@ -63,7 +99,7 @@ func main() {
 		phones = append(phones, p.Phone)
 	}
 
-	rig := sniffer.New(net, sniffer.Config{MaxReceivers: *receivers, Filter: f})
+	rig := sniffer.New(net, sniffer.Config{MaxReceivers: *receivers, Filter: f, Cracker: cracker})
 	defer rig.Stop()
 	tune := cell.ARFCNs
 	if len(tune) > *receivers {
@@ -72,7 +108,8 @@ func main() {
 	if err := rig.Tune(tune...); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("rig: %d receivers on ARFCNs %v, filter %s\n\n", len(rig.Tuned()), rig.Tuned(), f)
+	fmt.Printf("rig: %d receivers on ARFCNs %v, filter %s, cracker %s\n\n",
+		len(rig.Tuned()), rig.Tuned(), f, cracker.Name())
 
 	// Traffic mix: OTPs from the paper's Fig 5 senders plus chatter.
 	traffic := []struct{ from, text string }{
@@ -82,13 +119,12 @@ func main() {
 		{"Mom", "dinner at eight?"},
 		{"Alipay", "Alipay verification code: 901244. Valid for 5 minutes."},
 	}
-	for i, tr := range traffic {
+	for _, tr := range traffic {
 		for _, phone := range phones {
 			if _, err := net.SendSMS(tr.from, phone, tr.text); err != nil {
 				fatal(err)
 			}
 		}
-		_ = i
 	}
 
 	fmt.Println("captures (Fig 5 style):")
@@ -98,9 +134,68 @@ func main() {
 			c.SessionID, c.CellID, c.Kc, c.CrackTime.Round(0))
 	}
 	st := rig.Stats()
-	fmt.Printf("\nstats: %d bursts, %d sessions, %d decoded, %d/%d cracks, %d filtered out\n",
+	fmt.Printf("\nstats: %d bursts, %d sessions, %d decoded, %d/%d cracks (%d cache hits), %d filtered out\n",
 		st.BurstsSeen, st.SessionsComplete, st.MessagesDecoded,
-		st.CracksSucceeded, st.CracksAttempted, st.FilteredOut)
+		st.CracksSucceeded, st.CracksAttempted, st.CrackCacheHits, st.FilteredOut)
+}
+
+// obtainTable loads a previously saved TMTO table when path exists and
+// matches the requested key space, and otherwise builds one (saving it
+// to path when given) — the "download the Kraken tables once" step.
+func obtainTable(space a51.KeySpace, path string, chainLen int) (*a51.Table, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			table, err := a51.LoadTable(f)
+			if err != nil {
+				return nil, fmt.Errorf("loading table %s: %w", path, err)
+			}
+			if table.Space() != space {
+				return nil, fmt.Errorf("table %s was built for base=%#x bits=%d, want bits=%d (delete it to rebuild)",
+					path, table.Space().Base, table.Space().Bits, space.Bits)
+			}
+			// The network wraps frames to DefaultTableFrames; a table
+			// covering fewer frames would silently degrade uncovered
+			// sessions to full sweeps.
+			covered := make(map[uint32]bool, len(table.Frames()))
+			for _, f := range table.Frames() {
+				covered[f] = true
+			}
+			for f := uint32(0); f < a51.DefaultTableFrames; f++ {
+				if !covered[f] {
+					return nil, fmt.Errorf("table %s covers %d frames but frame %d of the %d-frame window is missing (delete it to rebuild)",
+						path, len(table.Frames()), f, a51.DefaultTableFrames)
+				}
+			}
+			fmt.Printf("table: loaded %s (%d frames)\n", path, len(table.Frames()))
+			return table, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// Only a missing file warrants a rebuild; an unreadable
+			// existing table must not be silently overwritten.
+			return nil, fmt.Errorf("opening table %s: %w", path, err)
+		}
+	}
+	start := time.Now()
+	table, err := a51.BuildTable(space, a51.TableConfig{ChainLen: chainLen})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("table: built %d-bit space × %d frames in %v\n",
+		space.Bits, len(table.Frames()), time.Since(start).Round(time.Millisecond))
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := table.Save(f); err != nil {
+			return nil, fmt.Errorf("saving table %s: %w", path, err)
+		}
+		fmt.Printf("table: saved to %s\n", path)
+	}
+	return table, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module github.com/actfort/actfort
+
+go 1.24

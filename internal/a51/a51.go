@@ -11,12 +11,27 @@
 //
 // The real-world attack uses precomputed rainbow tables over the full
 // 64-bit key space (the srlabs "Kraken" tables cited by the paper).
-// Shipping terabytes of tables is out of scope, so crack.go substitutes
-// an exhaustive search over a reduced key space: the simulated network
-// draws session keys from a configurable subspace, and the cracker
-// enumerates it. The attack structure (capture burst → derive
-// keystream from known plaintext → invert to Kc → decrypt the rest of
-// the session) is identical; only the search backend differs.
+// This package reproduces that time–memory trade-off at reduced scale
+// behind the pluggable Cracker interface, with three backends:
+//
+//   - Exhaustive: the brute-force enumerator (serial or parallel) with
+//     an early-exit bit-by-bit matcher.
+//   - Bitsliced: packs 64 candidate keys into the bit positions of
+//     uint64 words — one word per register bit — and clocks all 64
+//     ciphers with the same handful of boolean operations, the classic
+//     software speedup the real crackers use.
+//   - Table: a precomputed lookup structure (BuildTable) mapping
+//     keystream-prefix fingerprints back to candidate keys through
+//     distinguished-point chains, the faithful Kraken analogue: one
+//     expensive precomputation per key space, then amortized O(chain)
+//     work per recovered message instead of a full keyspace sweep.
+//
+// The simulated network draws session keys from a configurable
+// KeySpace subspace (and, for table-driven recovery, wraps frame
+// counters into a small window) so the trade-off fits in test-sized
+// memory; the attack structure (capture burst → derive keystream from
+// known plaintext → invert to Kc → decrypt the rest of the session)
+// is identical to the real deployment; only the scale differs.
 package a51
 
 import "crypto/cipher"
@@ -109,6 +124,14 @@ func (c *Cipher) outBit() uint32 {
 // array {0x12, 0x23, ...} for kc = 0x1223456789ABCDEF.
 func New(kc uint64, frame uint32) *Cipher {
 	c := &Cipher{}
+	c.init(kc, frame)
+	return c
+}
+
+// init loads kc and frame into a zeroed cipher state. Hot search loops
+// call it on a stack-allocated Cipher to avoid New's heap allocation.
+func (c *Cipher) init(kc uint64, frame uint32) {
+	c.r1, c.r2, c.r3 = 0, 0, 0
 	for i := 0; i < 64; i++ {
 		c.clockAll()
 		keyByte := byte(kc >> (56 - 8*uint(i/8)))
@@ -127,7 +150,6 @@ func New(kc uint64, frame uint32) *Cipher {
 	for i := 0; i < 100; i++ {
 		c.clock()
 	}
-	return c
 }
 
 // KeystreamBurst produces the two 114-bit keystream blocks for this

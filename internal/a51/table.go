@@ -1,0 +1,477 @@
+package a51
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultTableFrames is the frame window a Table covers by default:
+// one GSM 51-multiframe. A network configured with
+// telecom.Config.FrameWrap = DefaultTableFrames only ever encrypts
+// under frames the table has precomputed — the reduced-scale analogue
+// of the Kraken tables covering the full cipher state space.
+const DefaultTableFrames = 51
+
+// tableFPBits is the keystream-prefix fingerprint width. 40 bits
+// matches minSampleBytes, so every sample a Cracker is required to
+// accept can be fingerprinted.
+const tableFPBits = 40
+
+// defaultChainLen is the default mean distinguished-point chain
+// length. Longer chains store fewer (start, length) pairs but deepen
+// the merge basins a lookup must replay; 8 keeps worst-case replays
+// small while still shrinking the table severalfold versus a direct
+// fingerprint→key index. (A total-coverage table cannot reach the
+// full ~chainLen× reduction of classic Hellman tables, which buy it
+// by abandoning a fraction of the space.)
+const defaultChainLen = 8
+
+// FrameRange returns the frames [0, n) — the window helper shared by
+// table builders and the CLI.
+func FrameRange(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+// TableConfig parameterizes BuildTable.
+type TableConfig struct {
+	// Frames lists the frame numbers to precompute; nil means
+	// FrameRange(DefaultTableFrames).
+	Frames []uint32
+	// ChainLen is the target mean distinguished-point chain length
+	// (rounded to a power of two, clamped to the space); 0 means
+	// defaultChainLen. Longer chains trade lookup time for memory.
+	ChainLen int
+	// Workers is the build parallelism across frames; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// chainRef locates one stored chain: it starts at key index start and
+// covers length key indices before terminating at its distinguished
+// endpoint.
+type chainRef struct {
+	start  uint64
+	length uint32
+}
+
+// frameTable is the per-frame slice of the trade-off.
+type frameTable struct {
+	// chains indexes stored chains by their distinguished endpoint.
+	chains map[uint64][]chainRef
+	// overflow holds keys on distinguished-point-free cycles, indexed
+	// directly by fingerprint so coverage stays total.
+	overflow map[uint64][]uint64
+}
+
+// Table is the precomputed time–memory trade-off: built once per
+// KeySpace, it answers per-message key recovery in O(chain length)
+// cipher setups instead of an O(2^Bits) sweep. Chains follow the
+// classic distinguished-point construction: the successor of key index
+// x is reduce(fingerprint(x)), chains end at indices whose low bits
+// are zero, and only (start, length) pairs are stored. Every key in
+// the space is on a stored chain or in the overflow index, so lookups
+// for covered frames are exact, not probabilistic. Frames outside the
+// precomputed window fall back to a bitsliced sweep.
+//
+// Table is immutable after build and safe for concurrent use.
+type Table struct {
+	space    KeySpace
+	chainLen uint64
+	maxWalk  int
+	frames   map[uint32]*frameTable
+	fallback Bitsliced
+}
+
+var _ Cracker = (*Table)(nil)
+
+// ErrTableSpaceMismatch reports a Recover call whose space differs
+// from the one the table was built for.
+var ErrTableSpaceMismatch = errors.New("a51: table built for a different key space")
+
+// BuildTable precomputes the trade-off for space over cfg.Frames. The
+// build costs one fingerprint per (key, frame) pair — the same work an
+// exhaustive search pays per message, paid once up front — and uses
+// the bitsliced engine 64 keys at a time.
+func BuildTable(space KeySpace, cfg TableConfig) (*Table, error) {
+	n, ok := space.Size()
+	if !ok {
+		return nil, ErrSpaceTooLarge
+	}
+	// The build holds per-worker O(2^Bits) scratch (fingerprints,
+	// coverage, in-degrees ≈ 10 bytes/key); 24 bits ≈ 160 MB/worker is
+	// the practical ceiling for the in-memory design.
+	if space.Bits > 24 {
+		return nil, fmt.Errorf("a51: table build supports key spaces up to 24 bits, got %d", space.Bits)
+	}
+	frames := cfg.Frames
+	if len(frames) == 0 {
+		frames = FrameRange(DefaultTableFrames)
+	}
+	chainLen := uint64(cfg.ChainLen)
+	if chainLen == 0 {
+		chainLen = defaultChainLen
+	}
+	// Round down to a power of two and keep at least ~8 chains.
+	for chainLen&(chainLen-1) != 0 {
+		chainLen &= chainLen - 1
+	}
+	for chainLen > 1 && chainLen > n/8 {
+		chainLen >>= 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+
+	t := &Table{
+		space:    space,
+		chainLen: chainLen,
+		// Stored chains are capped at 4×chainLen: paths that run
+		// longer without meeting a distinguished point (P ≈ e^-4) go
+		// to the overflow index instead, which bounds both replay cost
+		// and the walk below.
+		maxWalk: int(4 * chainLen),
+		frames:  make(map[uint32]*frameTable, len(frames)),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	frameCh := make(chan uint32)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fps := make([]uint64, n)
+			for frame := range frameCh {
+				ft := buildFrame(space, frame, fps, chainLen, t.maxWalk)
+				mu.Lock()
+				t.frames[frame] = ft
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, f := range frames {
+		frameCh <- f
+	}
+	close(frameCh)
+	wg.Wait()
+	return t, nil
+}
+
+// buildFrame computes one frame's chains. fps is a caller-owned
+// scratch buffer of len n, filled with every key's fingerprint via the
+// bitsliced engine; chain construction is then pure array walking.
+func buildFrame(space KeySpace, frame uint32, fps []uint64, chainLen uint64, maxWalk int) *frameTable {
+	n := uint64(len(fps))
+	var keys [bsLanes]uint64
+	for base := uint64(0); base < n; base += bsLanes {
+		count := uint64(bsLanes)
+		if base+count > n {
+			count = n - base
+		}
+		batch := keys[:count]
+		for j := range batch {
+			batch[j] = space.Key(base + uint64(j))
+		}
+		for l, ks := range bsKeystream(batch, frame, tableFPBits) {
+			fps[base+uint64(l)] = fp40(ks)
+		}
+	}
+
+	ft := &frameTable{
+		chains:   make(map[uint64][]chainRef),
+		overflow: make(map[uint64][]uint64),
+	}
+	dpMask := chainLen - 1
+	covered := make([]bool, n)
+	path := make([]uint64, 0, maxWalk)
+	sweep := func(x uint64) {
+		if covered[x] {
+			return
+		}
+		path = path[:0]
+		cur := x
+		stored := false
+		for len(path) < maxWalk {
+			path = append(path, cur)
+			next := fps[cur] & (n - 1)
+			if next&dpMask == 0 {
+				ft.chains[next] = append(ft.chains[next], chainRef{start: x, length: uint32(len(path))})
+				stored = true
+				break
+			}
+			cur = next
+		}
+		if stored {
+			for _, p := range path {
+				covered[p] = true
+			}
+		} else {
+			// Distinguished-point-free stretch (a cycle dodging every
+			// DP): index its members directly so coverage stays total.
+			for _, p := range path {
+				if !covered[p] {
+					ft.overflow[fps[p]] = append(ft.overflow[fps[p]], p)
+					covered[p] = true
+				}
+			}
+		}
+	}
+	// Source-first sweep: chains started at indices no other index
+	// maps to are maximal, so they cover the most keys per stored
+	// (start, length) pair; the second pass mops up cycle members.
+	indeg := make([]uint8, n)
+	for x := uint64(0); x < n; x++ {
+		next := fps[x] & (n - 1)
+		if indeg[next] < 255 {
+			indeg[next]++
+		}
+	}
+	for x := uint64(0); x < n; x++ {
+		if indeg[x] == 0 {
+			sweep(x)
+		}
+	}
+	for x := uint64(0); x < n; x++ {
+		sweep(x)
+	}
+	return ft
+}
+
+// fp40 extracts the 40-bit fingerprint from an MSB-first packed
+// keystream sample.
+func fp40(ks []byte) uint64 {
+	return uint64(ks[0])<<32 | uint64(ks[1])<<24 | uint64(ks[2])<<16 |
+		uint64(ks[3])<<8 | uint64(ks[4])
+}
+
+// fingerprint recomputes key index x's 40-bit keystream fingerprint
+// at lookup time; reducing it modulo the space size yields the chain
+// successor.
+func (t *Table) fingerprint(x uint64, frame uint32) uint64 {
+	var c Cipher
+	c.init(t.space.Key(x), frame)
+	var fp uint64
+	for i := 0; i < tableFPBits; i++ {
+		c.clock()
+		fp = fp<<1 | uint64(c.outBit())
+	}
+	return fp
+}
+
+// Name implements Cracker.
+func (t *Table) Name() string { return "table" }
+
+// Space returns the key space the table was built for.
+func (t *Table) Space() KeySpace { return t.space }
+
+// Frames returns the sorted frame numbers the table covers.
+func (t *Table) Frames() []uint32 {
+	out := make([]uint32, 0, len(t.frames))
+	for f := range t.frames {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recover implements Cracker: overflow hit, or walk from the observed
+// fingerprint to the next distinguished point and replay the chains
+// stored there. A miss after a complete walk proves no key in the
+// space generates the sample (coverage is total), so it returns
+// ErrKeyNotFound without any sweeping. Frames outside the precomputed
+// window fall back to the bitsliced sweep.
+func (t *Table) Recover(ctx context.Context, keystream []byte, frame uint32, space KeySpace) (uint64, error) {
+	if len(keystream) < minSampleBytes {
+		return 0, ErrBadKeystream
+	}
+	if space != t.space {
+		return 0, fmt.Errorf("%w: built for base=%#x bits=%d, asked for base=%#x bits=%d",
+			ErrTableSpaceMismatch, t.space.Base, t.space.Bits, space.Base, space.Bits)
+	}
+	ft := t.frames[frame]
+	if ft == nil {
+		return t.fallback.Recover(ctx, keystream, frame, space)
+	}
+	n, _ := space.Size()
+	fp := fp40(keystream)
+
+	for _, x := range ft.overflow[fp] {
+		if key := space.Key(x); matches(key, frame, keystream) {
+			return key, nil
+		}
+	}
+
+	y := fp & (n - 1)
+	dpMask := t.chainLen - 1
+	for steps := 0; steps <= t.maxWalk; steps++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if y&dpMask == 0 {
+			// Replay every chain ending at this distinguished point,
+			// comparing fingerprints (one cipher setup per position).
+			// Chains started from different keys share their tails
+			// after a merge, so visited positions are skipped: total
+			// replay work is bounded by the number of distinct key
+			// indices feeding this endpoint, not the sum of chain
+			// lengths.
+			visited := make(map[uint64]struct{}, t.maxWalk)
+			for _, ch := range ft.chains[y] {
+				p := ch.start
+				for j := uint32(0); j < ch.length; j++ {
+					if _, seen := visited[p]; seen {
+						break // shared tail: already replayed
+					}
+					visited[p] = struct{}{}
+					pfp := t.fingerprint(p, frame)
+					if pfp == fp {
+						if key := space.Key(p); matches(key, frame, keystream) {
+							return key, nil
+						}
+					}
+					p = pfp & (n - 1)
+				}
+			}
+			break
+		}
+		y = t.fingerprint(y, frame) & (n - 1)
+	}
+	return 0, ErrKeyNotFound
+}
+
+// --- serialization (the "ship the tables" step of the real attack) ---
+
+// tableMagic versions the on-disk format.
+var tableMagic = [8]byte{'A', '5', '1', 'T', 'M', 'T', 'O', '1'}
+
+// Save writes the table in a flat binary format, so a precomputed
+// trade-off can be distributed and reloaded (LoadTable) instead of
+// rebuilt — the analogue of downloading the Kraken table set.
+func (t *Table) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(tableMagic[:]); err != nil {
+		return err
+	}
+	putU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	putU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	putU64(t.space.Base)
+	putU32(uint32(t.space.Bits))
+	putU64(t.chainLen)
+	putU32(uint32(len(t.frames)))
+	for _, frame := range t.Frames() {
+		ft := t.frames[frame]
+		putU32(frame)
+		ends := make([]uint64, 0, len(ft.chains))
+		for e := range ft.chains {
+			ends = append(ends, e)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		putU32(uint32(len(ends)))
+		for _, e := range ends {
+			putU64(e)
+			putU32(uint32(len(ft.chains[e])))
+			for _, ch := range ft.chains[e] {
+				putU64(ch.start)
+				putU32(ch.length)
+			}
+		}
+		fps := make([]uint64, 0, len(ft.overflow))
+		for fp := range ft.overflow {
+			fps = append(fps, fp)
+		}
+		sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+		putU32(uint32(len(fps)))
+		for _, fp := range fps {
+			putU64(fp)
+			putU32(uint32(len(ft.overflow[fp])))
+			for _, x := range ft.overflow[fp] {
+				putU64(x)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTable reads a table Save wrote.
+func LoadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("a51: reading table header: %w", err)
+	}
+	if magic != tableMagic {
+		return nil, errors.New("a51: not an A5/1 TMTO table file")
+	}
+	var err error
+	getU64 := func() (v uint64) {
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	getU32 := func() (v uint32) {
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	t := &Table{frames: make(map[uint32]*frameTable)}
+	t.space.Base = getU64()
+	t.space.Bits = int(getU32())
+	t.chainLen = getU64()
+	t.maxWalk = int(4 * t.chainLen)
+	if t.space.Bits <= 0 || t.space.Bits > 24 ||
+		t.chainLen == 0 || t.chainLen > 1<<20 || t.chainLen&(t.chainLen-1) != 0 {
+		return nil, errors.New("a51: corrupt table header")
+	}
+	nframes := getU32()
+	for i := uint32(0); i < nframes && err == nil; i++ {
+		frame := getU32()
+		ft := &frameTable{
+			chains:   make(map[uint64][]chainRef),
+			overflow: make(map[uint64][]uint64),
+		}
+		nends := getU32()
+		for j := uint32(0); j < nends && err == nil; j++ {
+			end := getU64()
+			nchains := getU32()
+			// Grow by appending rather than trusting the count for a
+			// single allocation: a corrupt length field then fails on
+			// EOF instead of attempting a multi-gigabyte make().
+			var refs []chainRef
+			for k := uint32(0); k < nchains && err == nil; k++ {
+				refs = append(refs, chainRef{start: getU64(), length: getU32()})
+			}
+			ft.chains[end] = refs
+		}
+		nfps := getU32()
+		for j := uint32(0); j < nfps && err == nil; j++ {
+			fp := getU64()
+			nkeys := getU32()
+			var keys []uint64
+			for k := uint32(0); k < nkeys && err == nil; k++ {
+				keys = append(keys, getU64())
+			}
+			ft.overflow[fp] = keys
+		}
+		t.frames[frame] = ft
+	}
+	if err != nil {
+		return nil, fmt.Errorf("a51: reading table: %w", err)
+	}
+	return t, nil
+}

@@ -137,7 +137,8 @@ func TestCaseIOverMitM(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	atk, err := mitm.New(s.Net, s.VictimTerminal, s.Cell, attTerm, mitm.Config{})
+	// The scenario's cracker doubles as the MitM's pre-attack probe.
+	atk, err := mitm.New(s.Net, s.VictimTerminal, s.Cell, attTerm, mitm.Config{Cracker: s.Cracker})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +148,9 @@ func TestCaseIOverMitM(t *testing.T) {
 	}
 	if mres.VictimMSISDN != s.Victim.Persona.Phone {
 		t.Fatalf("MitM revealed %s want %s", mres.VictimMSISDN, s.Victim.Persona.Phone)
+	}
+	if mres.ProbeKc == 0 {
+		t.Error("A5/1 probe recovered no key despite a configured cracker")
 	}
 
 	inboxBefore := len(s.VictimTerminal.Inbox())
@@ -254,5 +258,37 @@ func planStepFor(service string, platform ecosys.Platform, pathID string) strate
 	return strategy.PlanStep{
 		Account: ecosys.AccountID{Service: service, Platform: platform},
 		PathID:  pathID,
+	}
+}
+
+// TestCaseIWithTableBackend reruns the direct takeover with the
+// Kraken-style TMTO backend: the scenario precomputes an a51.Table,
+// wraps the network's cipher frames into its window, and every code
+// interception resolves by table lookup.
+func TestCaseIWithTableBackend(t *testing.T) {
+	s, err := NewScenario(ScenarioConfig{Seed: 42, KeyBits: 8, CrackBackend: "table"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.Cracker.Name() != "table" {
+		t.Fatalf("cracker = %s want table", s.Cracker.Name())
+	}
+	rep, err := s.RunCase(ctxFor(t), 1)
+	if err != nil {
+		t.Fatalf("%v (lines: %v)", err, rep)
+	}
+	if rep.Receipt == "" {
+		t.Error("no payment receipt")
+	}
+	if st := s.Sniffer.Stats(); st.CracksAttempted == 0 || st.CracksSucceeded != st.CracksAttempted {
+		t.Errorf("crack stats = %+v", st)
+	}
+}
+
+// TestScenarioRejectsUnknownBackend keeps the config surface honest.
+func TestScenarioRejectsUnknownBackend(t *testing.T) {
+	if _, err := NewScenario(ScenarioConfig{KeyBits: 8, CrackBackend: "quantum"}); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

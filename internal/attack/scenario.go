@@ -25,6 +25,13 @@ type ScenarioConfig struct {
 	// KeyBits is the A5/1 session-key space (default 12: cracks in
 	// milliseconds, still a real key recovery).
 	KeyBits int
+	// CrackBackend selects the A5/1 key-recovery backend for the
+	// passive rig: "exhaustive", "parallel", "bitsliced" (the default
+	// when empty) or "table". "table" precomputes an a51.Table over
+	// the network's key space and wraps the network's cipher frame
+	// counter into the table's window, so every session resolves with
+	// an amortized table lookup.
+	CrackBackend string
 	// Launch lists service names to bring up live; empty launches the
 	// case-study set (gmail, paypal, alipay, baidu-wallet, ctrip).
 	Launch []string
@@ -46,6 +53,10 @@ type Scenario struct {
 	VictimTerminal *telecom.Terminal
 	Sniffer        *sniffer.Sniffer
 	LeakDB         *socialdb.DB
+	// Cracker is the key-recovery backend the passive rig uses.
+	// Callers wiring up an active MitM attack against this scenario
+	// should pass it as mitm.Config.Cracker to enable the A5/1 probe.
+	Cracker a51.Cracker
 }
 
 // NewScenario builds and starts the world.
@@ -65,10 +76,20 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	net := telecom.NewNetwork(telecom.Config{
+	netCfg := telecom.Config{
 		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
 		Seed:     cfg.Seed,
-	})
+	}
+	if cfg.CrackBackend == "table" {
+		// Wrap cipher frames into the table's precomputed window so
+		// every burst the network ever encrypts is covered.
+		netCfg.FrameWrap = a51.DefaultTableFrames
+	}
+	net := telecom.NewNetwork(netCfg)
+	cracker, err := a51.NewCracker(cfg.CrackBackend, net.KeySpace(), 0)
+	if err != nil {
+		return nil, err
+	}
 	cell, err := net.AddCell(telecom.Cell{ID: "cell-centro", ARFCNs: []int{512, 513, 514}, Cipher: telecom.CipherA51})
 	if err != nil {
 		return nil, err
@@ -114,7 +135,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	})
 
 	// Passive rig covering the victim cell's channels.
-	sn := sniffer.New(net, sniffer.Config{})
+	sn := sniffer.New(net, sniffer.Config{Cracker: cracker})
 	if err := sn.Tune(cell.ARFCNs...); err != nil {
 		platform.Close()
 		return nil, err
@@ -130,6 +151,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		VictimTerminal: term,
 		Sniffer:        sn,
 		LeakDB:         leak,
+		Cracker:        cracker,
 	}, nil
 }
 

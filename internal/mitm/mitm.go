@@ -11,15 +11,20 @@
 package mitm
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
+	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/telecom"
 )
 
 // Step names follow the Fig 10 sequence diagram.
 const (
 	StepJam4G        = "force-vt-to-gsm"    // 4G jammer downgrades LTE
+	StepProbeA51     = "probe-a51-crack"    // confirm the GSM fallback is crackable
 	StepDeployFBS    = "deploy-fbs"         // fake base station on air
 	StepVictimCamps  = "vt-connects-fbs"    // victim camps on the rogue cell
 	StepIMSICatch    = "get-imsi"           // identity request
@@ -41,6 +46,11 @@ type Result struct {
 	Steps        []Step
 	VictimIMSI   string
 	VictimMSISDN string
+	// ProbeKc is the session key the optional pre-attack A5/1 probe
+	// recovered from the legitimate cell (zero if the probe was
+	// skipped), and ProbeCrackTime how long recovery took.
+	ProbeKc        uint64
+	ProbeCrackTime time.Duration
 	// FVT is the attacker-controlled terminal now serving the victim's
 	// traffic; every SMS code lands in its inbox.
 	FVT *telecom.Terminal
@@ -66,6 +76,13 @@ type Config struct {
 	// AttackerMSISDN receives the MSISDN-revealing call; it must be a
 	// registered, attached subscriber (the attacker's own burner).
 	AttackerMSISDN string
+	// Cracker, when non-nil, enables the pre-attack A5/1 probe: after
+	// forcing the GSM fallback the rig sends itself a message through
+	// the legitimate cell and recovers the session key from the
+	// captured bursts — confirming the downgraded plane is passively
+	// crackable (the paper's §V.A.2 premise) and measuring the crack
+	// cost the covert active path then avoids. Nil skips the probe.
+	Cracker a51.Cracker
 }
 
 // Common errors.
@@ -119,6 +136,27 @@ func (a *Attack) Run() (*Result, error) {
 	step(StepJam4G, "LTE jammed on cell %s", a.legitCell.ID)
 	if a.victim.RAT() != telecom.RATGSM {
 		return res, ErrVictimStillLTE
+	}
+
+	// 1b. Optional probe: crack one of the legitimate cell's A5/1
+	// sessions to confirm the downgraded GSM plane is breakable before
+	// committing hardware to the active takeover. A capture miss (the
+	// attacker's burner camped on another cell, so nothing heard on
+	// the legit ARFCNs) is inconclusive, not fatal — the active attack
+	// itself needs no key recovery. A crack that runs and fails still
+	// aborts: it means the rig's key-space model is wrong.
+	if a.cfg.Cracker != nil && a.legitCell.Cipher == telecom.CipherA51 {
+		kc, dur, err := a.probeCrack()
+		switch {
+		case errors.Is(err, errProbeNoBurst):
+			step(StepProbeA51, "inconclusive: %v", err)
+		case err != nil:
+			return res, fmt.Errorf("mitm: A5/1 probe: %w", err)
+		default:
+			res.ProbeKc, res.ProbeCrackTime = kc, dur
+			step(StepProbeA51, "legit cell session key %#x recovered in %v via %s",
+				kc, dur.Round(time.Microsecond), a.cfg.Cracker.Name())
+		}
 	}
 
 	// 2. Raise the fake base station, broadcasting louder than every
@@ -197,6 +235,60 @@ func (a *Attack) Run() (*Result, error) {
 
 	return res, nil
 }
+
+// probeCrack sends the attacker's own terminal a message through the
+// legitimate cell, captures the resulting A5/1 bursts off the air, and
+// recovers the session key from the known-plaintext paging burst with
+// the configured Cracker — a one-session rehearsal of the passive
+// attack, run against traffic the attacker is entitled to.
+func (a *Attack) probeCrack() (kc uint64, elapsed time.Duration, err error) {
+	// Listener callbacks can fire from any goroutine sending on these
+	// ARFCNs (not just our own probe), so burst collection is locked.
+	var (
+		mu     sync.Mutex
+		bursts []telecom.RadioBurst
+	)
+	cancels := make([]func(), 0, len(a.legitCell.ARFCNs))
+	for _, arfcn := range a.legitCell.ARFCNs {
+		cancels = append(cancels, a.net.Subscribe(arfcn, func(b telecom.RadioBurst) {
+			mu.Lock()
+			bursts = append(bursts, b)
+			mu.Unlock()
+		}))
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	if _, err := a.net.SendSMS("PROBE", a.attackerTerm.MSISDN(), "a5/1 probe"); err != nil {
+		return 0, 0, fmt.Errorf("sending probe SMS: %w", err)
+	}
+	mu.Lock()
+	captured := append([]telecom.RadioBurst(nil), bursts...)
+	mu.Unlock()
+	for _, b := range captured {
+		if b.Seq != 0 || !b.Encrypted {
+			continue
+		}
+		ks, err := a51.DeriveKeystream(b.Payload, telecom.PagingPlaintext(b.SessionID))
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		kc, err = a.cfg.Cracker.Recover(context.Background(), ks, b.Frame, a.net.KeySpace())
+		if err != nil {
+			return 0, 0, err
+		}
+		return kc, time.Since(start), nil
+	}
+	return 0, 0, errProbeNoBurst
+}
+
+// errProbeNoBurst reports a probe that heard no usable traffic on the
+// legitimate cell's channels — inconclusive rather than fatal.
+var errProbeNoBurst = errors.New("no encrypted paging burst captured on legit cell ARFCNs")
 
 // TearDown removes the jammer (the rogue cell stays registered in the
 // simulated network, but releasing the victim re-attaches it to the

@@ -235,3 +235,55 @@ func BenchmarkFullTakeover(b *testing.B) {
 		}
 	}
 }
+
+// TestProbeCrackStep enables the pre-attack A5/1 probe: the rig must
+// recover a legitimate-cell session key with the configured backend
+// and record the probe step before deploying the FBS.
+func TestProbeCrackStep(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, err := New(n, victim, cell, attacker, Config{Cracker: a51.Bitsliced{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatalf("Run: %v (steps: %v)", err, res.Timeline())
+	}
+	if res.ProbeKc == 0 {
+		t.Fatal("probe recovered no session key")
+	}
+	if !n.KeySpace().Contains(res.ProbeKc) {
+		t.Fatalf("probe Kc %#x outside the network key space", res.ProbeKc)
+	}
+	found := false
+	for _, s := range res.Steps {
+		if s.Name == StepProbeA51 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline missing %s: %v", StepProbeA51, res.Timeline())
+	}
+}
+
+// TestProbeSkippedWithoutCracker keeps the seed behavior: no backend
+// configured, no probe step, zero ProbeKc.
+func TestProbeSkippedWithoutCracker(t *testing.T) {
+	n, cell, victim, attacker := scenario(t)
+	atk, err := New(n, victim, cell, attacker, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeKc != 0 {
+		t.Fatalf("probe ran without a cracker: %#x", res.ProbeKc)
+	}
+	for _, s := range res.Steps {
+		if s.Name == StepProbeA51 {
+			t.Fatal("probe step present without a cracker")
+		}
+	}
+}

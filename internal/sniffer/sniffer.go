@@ -55,6 +55,7 @@ type Stats struct {
 	MessagesDecoded  int
 	CracksAttempted  int
 	CracksSucceeded  int
+	CrackCacheHits   int
 	FilteredOut      int
 }
 
@@ -65,6 +66,11 @@ type Config struct {
 	MaxReceivers int
 	// CrackWorkers is the parallelism of key recovery (0 = all cores).
 	CrackWorkers int
+	// Cracker is the key-recovery backend. Nil selects the bitsliced
+	// search (a51.Bitsliced) over CrackWorkers goroutines; a
+	// precomputed a51.Table turns per-session recovery into an
+	// amortized table lookup.
+	Cracker a51.Cracker
 	// Filter, when non-nil, restricts Captures to matching messages;
 	// non-matching messages are still decoded and counted.
 	Filter Filter
@@ -87,7 +93,18 @@ type Sniffer struct {
 	sessions map[uint32]*session
 	captures []Capture
 	stats    Stats
+	// kcCache remembers recovered session keys by session ID, so
+	// replayed bursts under an already-cracked key (recorded traces,
+	// retransmissions) skip recovery entirely. Bounded at kcCacheMax
+	// entries: live traffic never reuses session IDs, so only recent
+	// sessions are worth remembering.
+	kcCache map[uint32]uint64
 }
+
+// kcCacheMax bounds the replay key cache; on overflow an arbitrary
+// entry is evicted (sessions are short-lived, so any stale entry is
+// equally disposable).
+const kcCacheMax = 4096
 
 // session buffers bursts until a transmission is complete.
 type session struct {
@@ -100,11 +117,15 @@ func New(net *telecom.Network, cfg Config) *Sniffer {
 	if cfg.MaxReceivers <= 0 {
 		cfg.MaxReceivers = DefaultMaxReceivers
 	}
+	if cfg.Cracker == nil {
+		cfg.Cracker = a51.Bitsliced{Workers: cfg.CrackWorkers}
+	}
 	return &Sniffer{
 		net:      net,
 		cfg:      cfg,
 		cancels:  make(map[int]func()),
 		sessions: make(map[uint32]*session),
+		kcCache:  make(map[uint32]uint64),
 	}
 }
 
@@ -196,22 +217,39 @@ func (s *Sniffer) processSession(sess *session) {
 		crackTime time.Duration
 	)
 	if paging.Encrypted {
-		start := time.Now()
-		ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
-		if err != nil {
-			return
-		}
 		s.mu.Lock()
-		s.stats.CracksAttempted++
-		s.mu.Unlock()
-		kc, err = a51.RecoverKeyParallel(context.Background(), ks, paging.Frame, s.net.KeySpace(), s.cfg.CrackWorkers)
-		if err != nil {
-			return
+		cached, hit := s.kcCache[paging.SessionID]
+		if hit {
+			s.stats.CrackCacheHits++
 		}
-		crackTime = time.Since(start)
-		s.mu.Lock()
-		s.stats.CracksSucceeded++
 		s.mu.Unlock()
+		if hit {
+			kc = cached
+		} else {
+			start := time.Now()
+			ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.stats.CracksAttempted++
+			s.mu.Unlock()
+			kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
+			if err != nil {
+				return
+			}
+			crackTime = time.Since(start)
+			s.mu.Lock()
+			s.stats.CracksSucceeded++
+			if len(s.kcCache) >= kcCacheMax {
+				for id := range s.kcCache {
+					delete(s.kcCache, id)
+					break
+				}
+			}
+			s.kcCache[paging.SessionID] = kc
+			s.mu.Unlock()
+		}
 	}
 
 	tpdu := make([]byte, 0, (sess.total-1)*16)

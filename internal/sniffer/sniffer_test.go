@@ -262,3 +262,95 @@ func BenchmarkSniffAndCrack10Bit(b *testing.B) {
 		b.Fatalf("captured %d of %d", len(s.Captures()), b.N)
 	}
 }
+
+// TestSniffWithTableBackend runs the full capture path with the
+// Kraken-style TMTO backend: the network wraps cipher frames into the
+// table's precomputed window and every session resolves by lookup.
+func TestSniffWithTableBackend(t *testing.T) {
+	space := a51.KeySpace{Base: 0xC118000000000000, Bits: 10}
+	n := telecom.NewNetwork(telecom.Config{
+		KeySpace:  space,
+		FrameWrap: a51.DefaultTableFrames,
+		Seed:      11,
+	})
+	cell, err := n.AddCell(telecom.Cell{ID: "cell-1", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n.Register("460000000000009", "+8613800000009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := n.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	table, err := a51.BuildTable(space, a51.TableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, Config{Cracker: table})
+	t.Cleanup(s.Stop)
+	if err := s.Tune(512); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 5
+	for i := 0; i < msgs; i++ {
+		if _, err := n.SendSMS("Google", sub.MSISDN, "G-111111 is your code"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	caps := s.Captures()
+	if len(caps) != msgs {
+		t.Fatalf("captures = %d want %d", len(caps), msgs)
+	}
+	for _, c := range caps {
+		if c.Kc == 0 || !space.Contains(c.Kc) {
+			t.Fatalf("bad recovered Kc %#x", c.Kc)
+		}
+	}
+	if st := s.Stats(); st.CracksSucceeded != msgs {
+		t.Fatalf("crack stats = %+v", st)
+	}
+}
+
+// TestKcCacheSkipsRecrack replays a recorded session through Feed and
+// expects the per-session key cache to answer instead of a second
+// crack.
+func TestKcCacheSkipsRecrack(t *testing.T) {
+	n, sub, s := rig(t, Config{})
+	// Record the session's bursts off the air alongside the sniffer.
+	var recorded []telecom.RadioBurst
+	for _, a := range []int{512, 513, 514} {
+		cancel := n.Subscribe(a, func(b telecom.RadioBurst) {
+			recorded = append(recorded, b)
+		})
+		defer cancel()
+	}
+	if err := s.Tune(512, 513, 514); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CracksAttempted != 1 || st.CrackCacheHits != 0 {
+		t.Fatalf("stats after live capture = %+v", st)
+	}
+	// Replay the trace: same session ID, already-cracked key.
+	for _, b := range recorded {
+		s.Feed(b)
+	}
+	st := s.Stats()
+	if st.CracksAttempted != 1 {
+		t.Fatalf("replay re-cracked: %+v", st)
+	}
+	if st.CrackCacheHits != 1 {
+		t.Fatalf("replay missed the Kc cache: %+v", st)
+	}
+	if caps := s.Captures(); len(caps) != 2 || caps[0].Kc != caps[1].Kc {
+		t.Fatalf("replayed capture differs: %+v", caps)
+	}
+}

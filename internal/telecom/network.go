@@ -126,6 +126,13 @@ type Config struct {
 	// KeySpace constrains session keys so the sniffer's exhaustive
 	// crack terminates; see the package comment.
 	KeySpace a51.KeySpace
+	// FrameWrap, when positive, wraps the cipher frame counter modulo
+	// FrameWrap. The real GSM COUNT is a 22-bit value that wraps with
+	// the hyperframe; shrinking the wrap the same way KeySpace shrinks
+	// the key space lets a precomputed a51.Table cover every frame the
+	// network will ever encrypt under (a51.DefaultTableFrames is the
+	// matching window). Zero leaves the counter unwrapped.
+	FrameWrap int
 	// Seed drives all nondeterminism (RAND challenges, code session
 	// IDs) for reproducible experiments.
 	Seed int64
@@ -419,6 +426,9 @@ func (n *Network) SendSMS(fromOriginator, toMSISDN, text string) (transport stri
 	for seq, chunk := range chunks {
 		frame := n.frame
 		n.frame++
+		if n.cfg.FrameWrap > 0 {
+			frame %= uint32(n.cfg.FrameWrap)
+		}
 		payload := append([]byte(nil), chunk...)
 		if encrypted {
 			payload = a51.EncryptBurst(kc, frame, payload)
