@@ -1,6 +1,7 @@
 package actfort_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -77,5 +78,22 @@ func TestVictimsExported(t *testing.T) {
 	}
 	if actfort.Version == "" {
 		t.Error("version empty")
+	}
+}
+
+func TestCampaignFacade(t *testing.T) {
+	pop, err := actfort.NewPopulation(actfort.PopulationConfig{Seed: 9, Size: 400, ShardSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := actfort.RunCampaign(context.Background(), actfort.CampaignConfig{
+		Population: pop,
+		KeyBits:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Subscribers != 400 || sum.VictimsCompromised == 0 {
+		t.Fatalf("campaign summary = %+v", sum)
 	}
 }

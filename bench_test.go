@@ -14,6 +14,7 @@ import (
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/attack"
 	"github.com/actfort/actfort/internal/authproc"
+	"github.com/actfort/actfort/internal/campaign"
 	"github.com/actfort/actfort/internal/collect"
 	"github.com/actfort/actfort/internal/countermeasure"
 	"github.com/actfort/actfort/internal/dataset"
@@ -21,6 +22,7 @@ import (
 	"github.com/actfort/actfort/internal/identity"
 	"github.com/actfort/actfort/internal/mask"
 	"github.com/actfort/actfort/internal/mitm"
+	"github.com/actfort/actfort/internal/population"
 	"github.com/actfort/actfort/internal/smsotp"
 	"github.com/actfort/actfort/internal/sniffer"
 	"github.com/actfort/actfort/internal/strategy"
@@ -356,6 +358,52 @@ func BenchmarkE15Scaling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = strategy.FindPlan(g, target, 0)
 			}
+		})
+	}
+}
+
+// E16 — population-scale campaign throughput: chain-reaction attacks
+// over a sharded synthetic subscriber base with a bounded worker pool
+// and one shared A5/1 cracker. The backend comparison at the smallest
+// size shows the amortized TMTO table beating per-victim exhaustive
+// search; the size sweep records victims/sec at population scale.
+// The 1M size runs only with -benchtime long enough (or -bench
+// explicitly); it processes a million subscribers per iteration.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	run := func(b *testing.B, size int, backend string) {
+		pop, err := population.New(population.Config{Seed: 42, Size: size})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Engine construction (TDG compilation, one-off table build)
+		// is excluded: the real attack downloads the tables once.
+		eng, err := campaign.New(campaign.Config{Population: pop, Backend: backend, KeyBits: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum, err := eng.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.VictimsCompromised == 0 {
+				b.Fatal("campaign compromised nobody")
+			}
+		}
+		b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "victims/s")
+	}
+	// Shared-table vs per-victim exhaustive search, same population.
+	for _, backend := range []string{"table", "exhaustive"} {
+		b.Run(fmt.Sprintf("subscribers=10000/backend=%s", backend), func(b *testing.B) {
+			run(b, 10_000, backend)
+		})
+	}
+	// Scale sweep on the shared-table backend.
+	for _, size := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("subscribers=%d/backend=table", size), func(b *testing.B) {
+			run(b, size, "table")
 		})
 	}
 }

@@ -1,0 +1,48 @@
+package actfort
+
+import (
+	"context"
+
+	"github.com/actfort/actfort/internal/campaign"
+	"github.com/actfort/actfort/internal/population"
+)
+
+// Population-scale campaign surface: generate a seeded synthetic
+// subscriber base and run the chain-reaction attack across it,
+// measuring how far one sniffed SMS OTP propagates through the
+// ecosystem at operator scale. See cmd/campaign for the CLI.
+
+type (
+	// PopulationConfig parameterizes the subscriber generator.
+	PopulationConfig = population.Config
+	// Population is a deterministic sharded subscriber base.
+	Population = population.Population
+	// CampaignConfig parameterizes a campaign engine.
+	CampaignConfig = campaign.Config
+	// CampaignEngine runs chain-reaction attacks over a population.
+	CampaignEngine = campaign.Engine
+	// CampaignSummary aggregates a campaign run's metrics.
+	CampaignSummary = campaign.Summary
+)
+
+// NewPopulation builds a subscriber generator. Subscriber i is a pure
+// function of (seed, i); shards materialize on demand.
+func NewPopulation(cfg PopulationConfig) (*Population, error) {
+	return population.New(cfg)
+}
+
+// NewCampaign compiles a campaign engine: the TDG-derived attack plan
+// and the shared A5/1 cracker backend (a lookup-tuned TMTO table by
+// default).
+func NewCampaign(cfg CampaignConfig) (*CampaignEngine, error) {
+	return campaign.New(cfg)
+}
+
+// RunCampaign is the one-call form: generate, attack, aggregate.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignSummary, error) {
+	eng, err := campaign.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx)
+}

@@ -1,0 +1,137 @@
+// Command campaign runs the population-scale chain-reaction attack:
+// a seeded synthetic subscriber base (default one million) is swept by
+// a worker pool that sniffs each victim's SMS OTP sessions off the
+// simulated GSM air interface — all rigs sharing one precomputed A5/1
+// TMTO table — and evaluates how far the compromise chains propagate
+// through the calibrated 201-service account ecosystem.
+//
+// Usage:
+//
+//	campaign                          # 1M subscribers, table backend
+//	campaign -subscribers 5000        # CI-sized smoke run
+//	campaign -backend bitsliced       # per-session search, no table
+//	campaign -platform web -top 25
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/actfort/actfort/internal/campaign"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/population"
+)
+
+func main() {
+	var (
+		subscribers = flag.Int("subscribers", 1_000_000, "population size")
+		shardSize   = flag.Int("shard", population.DefaultShardSize, "subscribers per shard")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 42, "population/world seed")
+		backend     = flag.String("backend", "table", "shared A5/1 cracker backend (table, bitsliced, parallel, exhaustive)")
+		keyBits     = flag.Int("keybits", 12, "A5/1 session-key space bits")
+		platform    = flag.String("platform", "both", "attacked platforms: web, mobile or both")
+		leak        = flag.Float64("leak", population.DefaultLeakFraction, "fraction of subscribers in leak databases")
+		coverage    = flag.Float64("coverage", 1.0, "probability the rig covers a victim's cell")
+		a50         = flag.Float64("a50", 0.2, "fraction of victims on unencrypted (A5/0) cells")
+		reauthSkip  = flag.Float64("reauth-skip", 0.6, "probability a follow-up session reuses the victim's (RAND, Kc)")
+		sessions    = flag.Int("sessions", 3, "OTP sessions sniffed per victim")
+		top         = flag.Int("top", 15, "services shown in the takeover ranking")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	// The library Configs read 0 as "use the default" and negative as
+	// "off"; translate an explicitly passed 0 so `-a50 0` really means
+	// no unencrypted cells (and likewise -leak/-coverage/-reauth-skip).
+	zeroOff := map[string]*float64{
+		"leak": leak, "coverage": coverage, "a50": a50, "reauth-skip": reauthSkip,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if p, ok := zeroOff[f.Name]; ok && *p == 0 {
+			*p = -1
+		}
+	})
+	if err := run(runCfg{
+		subscribers: *subscribers, shardSize: *shardSize, workers: *workers,
+		seed: *seed, backend: *backend, keyBits: *keyBits, platform: *platform,
+		leak: *leak, coverage: *coverage, a50: *a50, reauthSkip: *reauthSkip,
+		sessions: *sessions, top: *top, quiet: *quiet,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+type runCfg struct {
+	subscribers, shardSize, workers, keyBits, sessions, top int
+	seed                                                    int64
+	backend, platform                                       string
+	leak, coverage, a50, reauthSkip                         float64
+	quiet                                                   bool
+}
+
+func run(c runCfg) error {
+	var platforms []ecosys.Platform
+	switch strings.ToLower(c.platform) {
+	case "web":
+		platforms = []ecosys.Platform{ecosys.PlatformWeb}
+	case "mobile":
+		platforms = []ecosys.Platform{ecosys.PlatformMobile}
+	case "both", "":
+		platforms = ecosys.AllPlatforms()
+	default:
+		return fmt.Errorf("unknown platform %q (want web, mobile or both)", c.platform)
+	}
+
+	pop, err := population.New(population.Config{
+		Seed:         c.seed,
+		Size:         c.subscribers,
+		ShardSize:    c.shardSize,
+		LeakFraction: c.leak,
+	})
+	if err != nil {
+		return err
+	}
+
+	progress := func(done, total int) {}
+	if !c.quiet {
+		lastPct := -1
+		progress = func(done, total int) {
+			pct := done * 100 / total
+			if pct/5 > lastPct/5 || done == total {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "campaign: %d/%d subscribers (%d%%)\n", done, total, pct)
+			}
+		}
+	}
+
+	eng, err := campaign.New(campaign.Config{
+		Population:  pop,
+		Workers:     c.workers,
+		Backend:     c.backend,
+		KeyBits:     c.keyBits,
+		Platforms:   platforms,
+		OTPSessions: c.sessions,
+		ReauthSkip:  c.reauthSkip,
+		A50Fraction: c.a50,
+		Coverage:    c.coverage,
+		Progress:    progress,
+	})
+	if err != nil {
+		return err
+	}
+	if !c.quiet {
+		fmt.Fprintf(os.Stderr, "campaign: %d subscribers, %d shards, backend %s\n",
+			pop.Size(), pop.NumShards(), eng.Cracker().Name())
+	}
+
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Println(sum.Render(pop.Services(), c.top))
+	return nil
+}

@@ -1,0 +1,409 @@
+// Package campaign is the population-scale attack engine: it runs the
+// paper's chain-reaction attack not against one victim but across a
+// synthetic subscriber population of millions (internal/population),
+// quantifying how far one sniffed SMS OTP "goes nuclear" through the
+// account ecosystem at operator scale.
+//
+// Architecture (the template every scaling subsystem follows):
+//
+//   - the population is sharded; a bounded worker pool streams shards,
+//     so subscriber state (personas, enrollments, radio sessions) is
+//     O(shard). The one population-proportional structure is the
+//     attacker's merged leak database — the artifact the paper's
+//     attacker actually accumulates — which grows with the leaked
+//     fraction only (string headers over shard-owned bytes);
+//   - every worker synthesizes each victim's OTP radio sessions with
+//     the same burst encoder the live Network uses and feeds them to a
+//     per-shard passive sniffer rig — batched sniffer sessions;
+//   - all rigs share ONE A5/1 cracker backend, so a single precomputed
+//     TMTO table is amortized across the entire population;
+//   - harvested leak records live in one sharded socialdb hit by every
+//     worker concurrently;
+//   - per-victim chain reactions are evaluated against a precompiled
+//     Transformation Dependency Graph plan (integer tables, no
+//     per-victim graph builds);
+//   - metrics stream to a single aggregator as per-shard partial
+//     summaries and render through internal/report.
+package campaign
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/population"
+	"github.com/actfort/actfort/internal/sniffer"
+	"github.com/actfort/actfort/internal/socialdb"
+	"github.com/actfort/actfort/internal/telecom"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Population is the subscriber base to attack (required).
+	Population *population.Population
+	// Workers bounds the shard worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Backend selects the shared A5/1 cracker ("table" when empty; see
+	// a51.NewCracker). Cracker overrides it when non-nil.
+	Backend string
+	Cracker a51.Cracker
+	// KeyBits is the A5/1 session-key space (0 = 12, as the case-study
+	// scenarios use).
+	KeyBits int
+	// Platforms restricts the attacked presences (nil = both).
+	Platforms []ecosys.Platform
+	// OTPSessions is how many OTP transmissions the rig observes per
+	// victim (0 = 3: the chain's first factors). Follow-up sessions
+	// reuse the victim's cipher context with probability ReauthSkip.
+	OTPSessions int
+	// ReauthSkip is the probability a follow-up session runs under a
+	// reused (RAND, Kc) — the operator skipped re-authentication
+	// (0 = 0.6; negative = never skip).
+	ReauthSkip float64
+	// A50Fraction is the share of victims camped on unencrypted cells
+	// (0 = 0.2; negative = everyone encrypted).
+	A50Fraction float64
+	// Coverage is the probability the rig overhears a given victim's
+	// serving cell (0 = 1.0: the fleet covers every channel).
+	Coverage float64
+	// Progress, when non-nil, receives (subscribersDone, total) after
+	// every merged shard.
+	Progress func(done, total int)
+}
+
+// Engine is a configured campaign. Build with New, execute with Run.
+type Engine struct {
+	cfg     Config
+	space   a51.KeySpace
+	cracker a51.Cracker
+	plan    *attackPlan
+	// leaks is the attacker's merged leak database, assembled during
+	// the harvest phase and hit concurrently by every attack worker.
+	leaks *socialdb.DB
+}
+
+// New compiles the attack plan and builds the shared cracker backend
+// (including the one-off TMTO table precomputation for "table").
+func New(cfg Config) (*Engine, error) {
+	if cfg.Population == nil {
+		return nil, fmt.Errorf("campaign: nil population")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.KeyBits <= 0 {
+		cfg.KeyBits = 12
+	}
+	if len(cfg.Platforms) == 0 {
+		cfg.Platforms = ecosys.AllPlatforms()
+	}
+	if cfg.OTPSessions <= 0 {
+		cfg.OTPSessions = 3
+	}
+	if cfg.ReauthSkip == 0 {
+		cfg.ReauthSkip = 0.6
+	} else if cfg.ReauthSkip < 0 {
+		cfg.ReauthSkip = 0
+	}
+	if cfg.A50Fraction == 0 {
+		cfg.A50Fraction = 0.2
+	} else if cfg.A50Fraction < 0 {
+		cfg.A50Fraction = 0
+	}
+	if cfg.Coverage == 0 {
+		cfg.Coverage = 1.0
+	} else if cfg.Coverage < 0 {
+		cfg.Coverage = 0
+	}
+	e := &Engine{
+		cfg:   cfg,
+		space: a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
+		leaks: socialdb.New(),
+	}
+	var err error
+	e.cracker = cfg.Cracker
+	if e.cracker == nil {
+		backend := cfg.Backend
+		if backend == "" {
+			backend = "table"
+		}
+		if backend == "table" {
+			// The campaign's table is tuned for lookup throughput:
+			// short chains cost a little more memory (still megabytes
+			// at simulation key sizes) and cut the per-session replay
+			// work several-fold — the right trade when one table is
+			// amortized over millions of cracks.
+			e.cracker, err = a51.BuildTable(e.space, a51.TableConfig{ChainLen: 2})
+		} else {
+			e.cracker, err = a51.NewCracker(backend, e.space, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if e.plan, err = buildPlan(cfg.Population.Catalog(), cfg.Platforms); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Cracker exposes the shared backend (benchmarks and the CLI report
+// its name).
+func (e *Engine) Cracker() a51.Cracker { return e.cracker }
+
+// LeakDB exposes the merged leak database after Run.
+func (e *Engine) LeakDB() *socialdb.DB { return e.leaks }
+
+// Run executes the campaign: harvest the leak databases, then attack
+// every shard through the worker pool, streaming partial summaries
+// into one aggregate. The returned Summary is deterministic for a
+// fixed config apart from Duration/VictimsPerSec.
+func (e *Engine) Run(ctx context.Context) (*Summary, error) {
+	start := time.Now()
+	sum, err := e.attack(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sum.LeakRecords = int64(e.leaks.Len())
+	sum.Backend = e.cracker.Name()
+	sum.Workers = e.cfg.Workers
+	sum.Duration = time.Since(start)
+	if secs := sum.Duration.Seconds(); secs > 0 {
+		sum.VictimsPerSec = float64(sum.Subscribers) / secs
+	}
+	return sum, nil
+}
+
+// attack streams every shard through the worker pool and aggregates
+// the partial summaries.
+func (e *Engine) attack(ctx context.Context) (*Summary, error) {
+	pop := e.cfg.Population
+	numServices := len(pop.Services())
+	shards := make(chan int)
+	parts := make(chan *Summary, e.cfg.Workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := newScratch(e.plan)
+			// A shell network per worker: the rig only needs the key
+			// space; no cells, no subscribers, no global lock shared
+			// with other workers.
+			net := telecom.NewNetwork(telecom.Config{
+				KeySpace:  e.space,
+				FrameWrap: a51.DefaultTableFrames,
+				Seed:      pop.Seed(),
+			})
+			for i := range shards {
+				part := e.attackShard(pop.Shard(i), net, scr)
+				select {
+				case parts <- part:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	feedErr := make(chan error, 1)
+	go func() {
+		feedErr <- feedShards(ctx, shards, pop.NumShards())
+		wg.Wait()
+		close(parts)
+	}()
+
+	sum := newSummary(numServices)
+	done := 0
+	for part := range parts {
+		done += int(part.Subscribers)
+		sum.Merge(part)
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(done, pop.Size())
+		}
+	}
+	if err := <-feedErr; err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// feedShards sends [0, n) on ch, honoring cancellation, and closes it.
+func feedShards(ctx context.Context, ch chan<- int, n int) error {
+	defer close(ch)
+	for i := 0; i < n; i++ {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// otpTimestamp keeps synthesized TPDUs deterministic.
+var otpTimestamp = time.Date(2021, 4, 19, 12, 0, 0, 0, time.UTC)
+
+// attackShard runs one batch end to end: synthesize every victim's
+// OTP radio sessions, feed them to a fresh sniffer rig backed by the
+// shared cracker, then evaluate the chain reaction for each
+// intercepted victim against the compiled plan.
+func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch) *Summary {
+	part := newSummary(len(e.cfg.Population.Services()))
+	part.Subscribers = int64(len(sh.Subscribers))
+
+	// Harvest first: merge this shard's leaked records into the global
+	// attacker database (§V.A.1's "existing illegal databases"). A
+	// victim's dossier lives in their own shard, so merging here keeps
+	// lookups correct while every other worker's merges and lookups
+	// hit the same sharded store concurrently.
+	e.leaks.Merge(sh.Leaks)
+
+	rig := sniffer.New(net, sniffer.Config{Cracker: e.cracker})
+	seed := uint64(e.cfg.Population.Seed())
+	sessions := e.cfg.OTPSessions
+	covered := make([]bool, len(sh.Subscribers))
+	frame := uint32(0)
+
+	// Radio phase: batched sniffer sessions over the whole shard.
+	for li := range sh.Subscribers {
+		sub := &sh.Subscribers[li]
+		idx := uint64(sub.Index)
+		if population.Unit(population.Mix(seed, population.TagCoverage, idx)) >= e.cfg.Coverage {
+			continue // victim's cell outside the rig's channel fleet
+		}
+		covered[li] = true
+		part.Covered++
+		a50 := population.Unit(population.Mix(seed, population.TagCipher, idx)) < e.cfg.A50Fraction
+		epoch := uint64(0)
+		for s := 0; s < sessions; s++ {
+			if s > 0 && population.Unit(population.Mix(seed, population.TagReauth, idx, uint64(s))) >= e.cfg.ReauthSkip {
+				epoch++ // operator re-authenticated: fresh RAND, fresh Kc
+			}
+			rnd := rand16(population.Mix(seed, population.TagRAND, idx, epoch))
+			bursts, err := telecom.EncodeSMSBursts(telecom.SMSSession{
+				ARFCN:      512,
+				CellID:     "campaign-cell",
+				SessionID:  uint32(li*sessions + s),
+				StartFrame: frame,
+				FrameWrap:  a51.DefaultTableFrames,
+				Encrypted:  !a50,
+				Kc:         telecom.SessionKey(e.cfg.Population.Seed(), sub.IMSI, rnd, e.space),
+				IMSI:       sub.IMSI,
+				RAND:       rnd,
+				Deliver: gsmcodec.Deliver{
+					Originator: "ActFort",
+					Timestamp:  otpTimestamp,
+					Text:       "Code 845512",
+				},
+			})
+			if err != nil {
+				continue // unencodable synthetic TPDU: count nothing
+			}
+			frame += uint32(len(bursts))
+			for _, b := range bursts {
+				rig.Feed(b)
+			}
+			part.Sessions++
+			if a50 {
+				part.A50Sessions++
+			}
+		}
+	}
+
+	// Attribute decoded captures back to victims via session IDs.
+	intercepted := make([]bool, len(sh.Subscribers))
+	for _, c := range rig.Captures() {
+		intercepted[int(c.SessionID)/sessions] = true
+	}
+	part.Sniffer.Add(rig.Stats())
+
+	// Chain-reaction phase: evaluate every intercepted victim.
+	for li := range sh.Subscribers {
+		if !covered[li] || !intercepted[li] {
+			continue
+		}
+		sub := &sh.Subscribers[li]
+		part.Intercepted++
+		know := e.plan.baseline
+		if rec, err := e.leaks.Lookup(sub.Persona.Phone); err == nil {
+			part.DossierHits++
+			know |= leakFactorMask(rec)
+		}
+		e.plan.chainDepths(scr, sub.Enrolled, know)
+		e.accumulate(scr, part)
+		scr.reset()
+	}
+	return part
+}
+
+// accumulate folds one victim's chain-reaction outcome into the
+// partial summary.
+func (e *Engine) accumulate(scr *scratch, part *Summary) {
+	taken := int64(0)
+	maxDepth := 0
+	var fields uint32
+	for _, a := range scr.active {
+		d := int(scr.depth[a])
+		if d == 0 {
+			continue
+		}
+		taken++
+		if d > MaxDepth {
+			d = MaxDepth
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		part.AccountsByDepth[d]++
+		part.ServiceTakeovers[e.plan.svcIdx[a]]++
+		fields |= e.plan.exposes[a]
+	}
+	if taken == 0 {
+		part.HarvestHist[0]++
+		return
+	}
+	part.VictimsCompromised++
+	part.AccountsCompromised += taken
+	part.VictimsByMaxDepth[maxDepth]++
+	n := bits.OnesCount32(fields)
+	if n >= len(part.HarvestHist) {
+		n = len(part.HarvestHist) - 1
+	}
+	part.HarvestHist[n]++
+	for f := 1; f < len(part.FieldTotals); f++ {
+		if fields>>uint(f)&1 == 1 {
+			part.FieldTotals[f]++
+		}
+	}
+}
+
+// leakFactorMask maps a leak record's fields to credential factors.
+func leakFactorMask(rec socialdb.Record) uint64 {
+	var m uint64
+	if rec.RealName != "" {
+		m |= factorBit(ecosys.FactorRealName)
+	}
+	if rec.Address != "" {
+		m |= factorBit(ecosys.FactorAddress)
+	}
+	if rec.CitizenID != "" {
+		m |= factorBit(ecosys.FactorCitizenID)
+	}
+	return m
+}
+
+// rand16 expands one draw into a RAND challenge.
+func rand16(h uint64) [16]byte {
+	var out [16]byte
+	binary.BigEndian.PutUint64(out[:8], h)
+	binary.BigEndian.PutUint64(out[8:], population.Mix(h, 0x52414E44))
+	return out
+}

@@ -1,0 +1,374 @@
+// Package population generates the synthetic subscriber base the
+// population-scale campaign engine attacks: millions of personas, each
+// with a SIM identity, a service-enrollment profile drawn from the
+// calibrated ecosystem catalog, and (for a configurable fraction) a
+// presence in the attacker's leaked-records databases.
+//
+// The generator is deterministic, seeded and sharded: subscriber i is
+// a pure function of (seed, i), shards cover contiguous index ranges
+// and can be materialized independently and in parallel, and nothing
+// is retained between Shard calls — a campaign streams shards through
+// a worker pool without ever holding the whole population in memory.
+package population
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/socialdb"
+)
+
+// DefaultShardSize batches subscribers per shard: big enough to
+// amortize per-shard setup (a sniffer rig, a partial-metrics frame),
+// small enough that a worker's resident set stays in cache.
+const DefaultShardSize = 4096
+
+// Config parameterizes a Population.
+type Config struct {
+	// Seed drives every draw; same seed, same population, bit for bit.
+	Seed int64
+	// Size is the subscriber count.
+	Size int
+	// ShardSize bounds subscribers per shard (0 = DefaultShardSize).
+	ShardSize int
+	// Catalog is the service ecosystem enrollments are drawn from
+	// (nil = the calibrated 201-service dataset.Default catalog).
+	Catalog *ecosys.Catalog
+	// LeakFraction is the share of subscribers present in the leaked
+	// personal-information databases of §V.A.1 (0 = DefaultLeakFraction;
+	// negative = nobody leaked).
+	LeakFraction float64
+	// EnrollmentScale multiplies every service-adoption probability
+	// (0 = 1.0). Raising it densifies the account graph per victim.
+	EnrollmentScale float64
+}
+
+// DefaultLeakFraction matches the paper's observation that merged
+// breach dumps cover a large minority of active phone numbers.
+const DefaultLeakFraction = 0.35
+
+// Subscriber is one member of the population.
+type Subscriber struct {
+	// Index is the global subscriber index (also the persona index).
+	Index int
+	// IMSI is the SIM identity campaigns synthesize traffic for.
+	IMSI string
+	// Persona holds the synthetic personal information.
+	Persona identity.Persona
+	// Enrolled is the set of catalog services (by catalog order index)
+	// the subscriber holds accounts on.
+	Enrolled ServiceSet
+	// Leaked reports presence in the attacker's leak databases;
+	// Record is the zero value when false.
+	Leaked bool
+	// Record is the leaked entry as the attacker sees it.
+	Record socialdb.Record
+}
+
+// ServiceSet is a bitset over catalog service indices.
+type ServiceSet []uint64
+
+// Has reports membership of service index i.
+func (s ServiceSet) Has(i int) bool {
+	w := i >> 6
+	return w < len(s) && s[w]>>(uint(i)&63)&1 == 1
+}
+
+// Count returns the number of enrolled services.
+func (s ServiceSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Shard is one contiguous slice of the population.
+type Shard struct {
+	Index int
+	// Start and End bound the subscriber index range [Start, End).
+	Start, End int
+	// Subscribers holds the materialized members.
+	Subscribers []Subscriber
+	// Leaks is the shard-local leaked-records store; campaign
+	// ingestion merges these into one global socialdb.DB.
+	Leaks *socialdb.DB
+}
+
+// Population is a deterministic subscriber generator. Safe for
+// concurrent use: all state is immutable after New.
+type Population struct {
+	cfg      Config
+	catalog  *ecosys.Catalog
+	services []string
+	adoption []float64
+	gen      *identity.Generator
+}
+
+// New validates the config and precomputes the per-service adoption
+// rates. No subscribers are materialized yet.
+func New(cfg Config) (*Population, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("population: size %d <= 0", cfg.Size)
+	}
+	if cfg.ShardSize == 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
+	if cfg.ShardSize < 0 {
+		return nil, fmt.Errorf("population: shard size %d < 0", cfg.ShardSize)
+	}
+	if cfg.Catalog == nil {
+		cat, err := dataset.Default()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Catalog = cat
+	}
+	if cfg.LeakFraction == 0 {
+		cfg.LeakFraction = DefaultLeakFraction
+	}
+	if cfg.EnrollmentScale == 0 {
+		cfg.EnrollmentScale = 1.0
+	}
+	p := &Population{
+		cfg:      cfg,
+		catalog:  cfg.Catalog,
+		gen:      identity.NewGenerator(cfg.Seed),
+		adoption: adoptionRates(cfg.Catalog, cfg.EnrollmentScale),
+	}
+	for _, svc := range cfg.Catalog.Services() {
+		p.services = append(p.services, svc.Name)
+	}
+	return p, nil
+}
+
+// Size returns the subscriber count.
+func (p *Population) Size() int { return p.cfg.Size }
+
+// Seed returns the generator seed (campaigns reuse it to key the
+// telecom substrate so synthesized Kc values are reproducible).
+func (p *Population) Seed() int64 { return p.cfg.Seed }
+
+// Catalog returns the ecosystem catalog enrollments refer to.
+func (p *Population) Catalog() *ecosys.Catalog { return p.catalog }
+
+// Services returns catalog service names in enrollment-index order.
+// Callers must not mutate the returned slice.
+func (p *Population) Services() []string { return p.services }
+
+// NumShards returns how many shards cover the population.
+func (p *Population) NumShards() int {
+	return (p.cfg.Size + p.cfg.ShardSize - 1) / p.cfg.ShardSize
+}
+
+// ShardBounds returns the index range [start, end) of shard i.
+func (p *Population) ShardBounds(i int) (start, end int) {
+	start = i * p.cfg.ShardSize
+	end = start + p.cfg.ShardSize
+	if end > p.cfg.Size {
+		end = p.cfg.Size
+	}
+	return start, end
+}
+
+// Shard materializes shard i. Shards are independent: any subset may
+// be generated, in any order, from any number of goroutines.
+func (p *Population) Shard(i int) *Shard {
+	if i < 0 || i >= p.NumShards() {
+		panic(fmt.Sprintf("population: shard %d out of range [0, %d)", i, p.NumShards()))
+	}
+	start, end := p.ShardBounds(i)
+	sh := &Shard{
+		Index:       i,
+		Start:       start,
+		End:         end,
+		Subscribers: make([]Subscriber, 0, end-start),
+		Leaks:       socialdb.New(),
+	}
+	for idx := start; idx < end; idx++ {
+		sub := p.subscriber(idx)
+		if sub.Leaked {
+			sh.Leaks.Add(sub.Record)
+		}
+		sh.Subscribers = append(sh.Subscribers, sub)
+	}
+	return sh
+}
+
+// subscriber materializes one member, a pure function of (seed, idx).
+func (p *Population) subscriber(idx int) Subscriber {
+	sub := Subscriber{
+		Index:   idx,
+		IMSI:    IMSIFor(idx),
+		Persona: p.gen.Persona(idx),
+	}
+	sub.Enrolled = p.enrollment(idx)
+	seed := uint64(p.cfg.Seed)
+	if unit(mix(seed, tagLeak, uint64(idx))) < p.cfg.LeakFraction {
+		sub.Leaked = true
+		sub.Record = p.leakRecord(idx, sub.Persona)
+	}
+	return sub
+}
+
+// IMSIFor maps a subscriber index to its 15-digit IMSI (MCC/MNC 46000,
+// the PLMN the paper's field setup observed).
+func IMSIFor(idx int) string {
+	return fmt.Sprintf("46000%010d", idx)
+}
+
+// enrollment draws the subscriber's service set: one independent,
+// index-keyed draw per service, so the profile is order-independent
+// and shards need no coordination.
+func (p *Population) enrollment(idx int) ServiceSet {
+	set := make(ServiceSet, (len(p.adoption)+63)/64)
+	seed := uint64(p.cfg.Seed)
+	for j, rate := range p.adoption {
+		if unit(mix(seed, tagEnroll, uint64(idx), uint64(j))) < rate {
+			set[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+	return set
+}
+
+// leakRecord builds the attacker-visible dump entry. Two tiers mirror
+// §V.A.1's sources: full breach rows (name and address, sometimes the
+// citizen ID) and phishing-WiFi harvests (phone number only).
+func (p *Population) leakRecord(idx int, persona identity.Persona) socialdb.Record {
+	seed := uint64(p.cfg.Seed)
+	rec := socialdb.Record{Phone: persona.Phone}
+	if unit(mix(seed, tagLeakTier, uint64(idx))) < 0.75 {
+		rec.Source = "2016-breach"
+		rec.RealName = persona.RealName
+		rec.Address = persona.Address
+		if unit(mix(seed, tagLeakDeep, uint64(idx))) < 0.40 {
+			rec.CitizenID = persona.CitizenID
+		}
+	} else {
+		rec.Source = "phishing-wifi"
+	}
+	return rec
+}
+
+// domainAdoption is the base probability that a subscriber holds an
+// account on the leading service of a domain; within a domain the
+// rate decays geometrically with catalog rank (everyone has the top
+// messenger, few have the fifth). The values are chosen so the mean
+// enrollment lands near the paper's per-user account footprint
+// (roughly a dozen services) on the calibrated 201-service catalog.
+var domainAdoption = map[ecosys.Domain]float64{
+	ecosys.DomainFintech:   0.52,
+	ecosys.DomainEmail:     0.78,
+	ecosys.DomainSocial:    0.64,
+	ecosys.DomainECommerce: 0.46,
+	ecosys.DomainTravel:    0.18,
+	ecosys.DomainCloud:     0.30,
+	ecosys.DomainNews:      0.12,
+	ecosys.DomainEducation: 0.08,
+	ecosys.DomainGaming:    0.16,
+	ecosys.DomainHealth:    0.06,
+	ecosys.DomainStreaming: 0.26,
+	ecosys.DomainLifestyle: 0.22,
+}
+
+// adoptionRank is the per-rank decay within a domain.
+const adoptionRank = 0.72
+
+// adoptionFloor keeps long-tail services reachable at all.
+const adoptionFloor = 0.004
+
+// adoptionRates computes per-service adoption probabilities in
+// catalog order.
+func adoptionRates(cat *ecosys.Catalog, scale float64) []float64 {
+	rank := make(map[ecosys.Domain]int)
+	out := make([]float64, 0, cat.Len())
+	for _, svc := range cat.Services() {
+		base, ok := domainAdoption[svc.Domain]
+		if !ok {
+			base = 0.10
+		}
+		r := rank[svc.Domain]
+		rank[svc.Domain]++
+		rate := base * math.Pow(adoptionRank, float64(r))
+		if rate < adoptionFloor {
+			rate = adoptionFloor
+		}
+		rate *= scale
+		if rate > 1 {
+			rate = 1
+		}
+		out = append(out, rate)
+	}
+	return out
+}
+
+// AdoptionRates returns a copy of the per-service adoption
+// probabilities, catalog order.
+func (p *Population) AdoptionRates() []float64 {
+	return append([]float64(nil), p.adoption...)
+}
+
+// Fingerprint hashes every subscriber's complete materialized state
+// (identity, persona, enrollment, leak record) into one FNV-64 digest.
+// Two populations with equal fingerprints are byte-identical; the
+// determinism property test pins same-seed reproducibility with it.
+func (p *Population) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 512)
+	for i := 0; i < p.NumShards(); i++ {
+		sh := p.Shard(i)
+		for _, sub := range sh.Subscribers {
+			buf = appendSubscriber(buf[:0], sub)
+			_, _ = h.Write(buf)
+		}
+	}
+	return h.Sum64()
+}
+
+// appendSubscriber canonically serializes one subscriber.
+func appendSubscriber(buf []byte, sub Subscriber) []byte {
+	appendStr := func(s string) {
+		buf = append(buf, byte(len(s)>>8), byte(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf,
+		byte(sub.Index>>24), byte(sub.Index>>16), byte(sub.Index>>8), byte(sub.Index))
+	appendStr(sub.IMSI)
+	pe := sub.Persona
+	appendStr(pe.RealName)
+	appendStr(pe.CitizenID)
+	appendStr(pe.Phone)
+	appendStr(pe.Email)
+	appendStr(pe.Address)
+	appendStr(pe.Bankcard)
+	appendStr(pe.UserID)
+	appendStr(pe.StudentID)
+	appendStr(pe.DeviceType)
+	for _, a := range pe.Acquaintances {
+		appendStr(a)
+	}
+	for _, ph := range pe.Photos {
+		appendStr(ph)
+	}
+	for _, w := range sub.Enrolled {
+		for s := 56; s >= 0; s -= 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	if sub.Leaked {
+		buf = append(buf, 1)
+		appendStr(sub.Record.Phone)
+		appendStr(sub.Record.RealName)
+		appendStr(sub.Record.Address)
+		appendStr(sub.Record.CitizenID)
+		appendStr(sub.Record.Source)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}

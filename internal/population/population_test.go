@@ -1,0 +1,159 @@
+package population
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/actfort/actfort/internal/dataset"
+	"github.com/actfort/actfort/internal/identity"
+)
+
+func testPop(t *testing.T, cfg Config) *Population {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cfg.Catalog = dataset.MustDefault()
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDeterministicPopulation is the property test pinning the
+// generator: the same seed must reproduce the population byte for
+// byte, across independent Population values and across shard
+// generation order.
+func TestDeterministicPopulation(t *testing.T) {
+	cfg := Config{Seed: 11, Size: 3000, ShardSize: 256}
+	a := testPop(t, cfg)
+	b := testPop(t, cfg)
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Fatalf("same seed, different fingerprints: %#x vs %#x", fa, fb)
+	}
+	if f := testPop(t, Config{Seed: 12, Size: 3000, ShardSize: 256}).Fingerprint(); f == a.Fingerprint() {
+		t.Fatalf("different seed produced identical fingerprint %#x", f)
+	}
+
+	// Shard materialization must be order- and concurrency-independent.
+	var wg sync.WaitGroup
+	shards := make([]*Shard, a.NumShards())
+	for i := a.NumShards() - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shards[i] = a.Shard(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, sh := range shards {
+		want := b.Shard(i)
+		if !reflect.DeepEqual(sh.Subscribers, want.Subscribers) {
+			t.Fatalf("shard %d differs between generations", i)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	p := testPop(t, Config{Seed: 1, Size: 1000, ShardSize: 300})
+	if got := p.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d want 4", got)
+	}
+	next := 0
+	for i := 0; i < p.NumShards(); i++ {
+		sh := p.Shard(i)
+		if sh.Start != next {
+			t.Fatalf("shard %d starts at %d want %d", i, sh.Start, next)
+		}
+		if len(sh.Subscribers) != sh.End-sh.Start {
+			t.Fatalf("shard %d has %d subscribers for range [%d,%d)", i, len(sh.Subscribers), sh.Start, sh.End)
+		}
+		for j, sub := range sh.Subscribers {
+			if sub.Index != sh.Start+j {
+				t.Fatalf("subscriber index %d at shard offset %d (start %d)", sub.Index, j, sh.Start)
+			}
+		}
+		next = sh.End
+	}
+	if next != p.Size() {
+		t.Fatalf("shards cover %d of %d subscribers", next, p.Size())
+	}
+}
+
+func TestSubscriberValidity(t *testing.T) {
+	p := testPop(t, Config{Seed: 3, Size: 600, ShardSize: 600})
+	sh := p.Shard(0)
+	phones := make(map[string]bool, len(sh.Subscribers))
+	numServices := p.Catalog().Len()
+	for _, sub := range sh.Subscribers {
+		if !identity.ValidCitizenID(sub.Persona.CitizenID) {
+			t.Fatalf("subscriber %d: invalid citizen ID %q", sub.Index, sub.Persona.CitizenID)
+		}
+		if !identity.ValidLuhn(sub.Persona.Bankcard) {
+			t.Fatalf("subscriber %d: invalid bankcard %q", sub.Index, sub.Persona.Bankcard)
+		}
+		if len(sub.IMSI) != 15 {
+			t.Fatalf("subscriber %d: IMSI %q not 15 digits", sub.Index, sub.IMSI)
+		}
+		if phones[sub.Persona.Phone] {
+			t.Fatalf("duplicate phone %s", sub.Persona.Phone)
+		}
+		phones[sub.Persona.Phone] = true
+		for j := numServices; j < len(sub.Enrolled)*64; j++ {
+			if sub.Enrolled.Has(j) {
+				t.Fatalf("subscriber %d enrolled in out-of-range service %d", sub.Index, j)
+			}
+		}
+		if sub.Leaked {
+			if sub.Record.Phone != sub.Persona.Phone {
+				t.Fatalf("leak record phone %q != persona phone %q", sub.Record.Phone, sub.Persona.Phone)
+			}
+			if sub.Record.Source == "" {
+				t.Fatalf("leaked subscriber %d has no source", sub.Index)
+			}
+			if r, err := sh.Leaks.Lookup(sub.Persona.Phone); err != nil || r != sub.Record {
+				t.Fatalf("shard leak DB lookup = %+v, %v", r, err)
+			}
+		} else if _, err := sh.Leaks.Lookup(sub.Persona.Phone); err == nil {
+			t.Fatalf("unleaked subscriber %d present in leak DB", sub.Index)
+		}
+	}
+}
+
+func TestLeakFractionAndEnrollment(t *testing.T) {
+	p := testPop(t, Config{Seed: 5, Size: 20000, ShardSize: 5000})
+	leaked, enrolled := 0, 0
+	for i := 0; i < p.NumShards(); i++ {
+		for _, sub := range p.Shard(i).Subscribers {
+			if sub.Leaked {
+				leaked++
+			}
+			enrolled += sub.Enrolled.Count()
+		}
+	}
+	frac := float64(leaked) / float64(p.Size())
+	if frac < 0.32 || frac > 0.38 {
+		t.Errorf("leak fraction = %.3f want ~%.2f", frac, DefaultLeakFraction)
+	}
+	mean := float64(enrolled) / float64(p.Size())
+	if mean < 6 || mean > 25 {
+		t.Errorf("mean enrollment = %.1f services, outside the calibrated band", mean)
+	}
+}
+
+func TestLeakFractionDisabled(t *testing.T) {
+	p := testPop(t, Config{Seed: 5, Size: 500, ShardSize: 500, LeakFraction: -1})
+	if n := p.Shard(0).Leaks.Len(); n != 0 {
+		t.Fatalf("negative LeakFraction leaked %d records", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(Config{Size: 10, ShardSize: -1}); err == nil {
+		t.Error("negative shard size accepted")
+	}
+}

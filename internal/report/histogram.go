@@ -1,0 +1,36 @@
+package report
+
+import "strconv"
+
+// HistRow is one bucket of a Histogram.
+type HistRow struct {
+	Label string
+	Count int64
+}
+
+// Histogram renders labeled counts with bars scaled to the largest
+// bucket — the renderer behind the campaign engine's compromise-depth
+// and harvest distributions.
+func Histogram(title string, rows []HistRow) *Table {
+	max := int64(0)
+	total := int64(0)
+	for _, r := range rows {
+		if r.Count > max {
+			max = r.Count
+		}
+		total += r.Count
+	}
+	t := &Table{Title: title, Headers: []string{"bucket", "count", "", "share"}}
+	for _, r := range rows {
+		barPct := 0.0
+		if max > 0 {
+			barPct = 100 * float64(r.Count) / float64(max)
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Count) / float64(total)
+		}
+		t.AddRow(r.Label, strconv.FormatInt(r.Count, 10), Bar(barPct), Pct(share))
+	}
+	return t
+}

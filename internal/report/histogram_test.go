@@ -1,0 +1,38 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("depths", []HistRow{
+		{Label: "depth 1", Count: 30},
+		{Label: "depth 2", Count: 15},
+		{Label: "depth 3", Count: 0},
+	}).String()
+	if !strings.Contains(out, "depths") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The largest bucket gets a full bar; shares sum over the total.
+	if !strings.Contains(lines[3], strings.Repeat("#", 30)) {
+		t.Errorf("max bucket bar not full: %q", lines[3])
+	}
+	if !strings.Contains(lines[3], "66.67%") || !strings.Contains(lines[4], "33.33%") {
+		t.Errorf("shares wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "0.00%") {
+		t.Errorf("empty bucket share wrong: %q", lines[5])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	out := Histogram("none", nil).String()
+	if !strings.Contains(out, "none") {
+		t.Errorf("missing title:\n%s", out)
+	}
+}

@@ -56,7 +56,30 @@ type Stats struct {
 	CracksAttempted  int
 	CracksSucceeded  int
 	CrackCacheHits   int
-	FilteredOut      int
+	// KcReuseHits counts sessions decrypted straight from the
+	// per-subscriber (IMSI, RAND) cache: the network skipped
+	// re-authentication, reused a session key the rig had already
+	// cracked, and handed the traffic over for free. KcReuseMisses
+	// counts eligible sessions (identity context on the air) whose
+	// auth context had not been cracked yet. Campaign metrics consume
+	// both to quantify the Kc-reuse weakness at population scale.
+	KcReuseHits   int
+	KcReuseMisses int
+	FilteredOut   int
+}
+
+// Add accumulates other into s — the merge used when per-shard rigs
+// report into one campaign-wide counter set.
+func (s *Stats) Add(other Stats) {
+	s.BurstsSeen += other.BurstsSeen
+	s.SessionsComplete += other.SessionsComplete
+	s.MessagesDecoded += other.MessagesDecoded
+	s.CracksAttempted += other.CracksAttempted
+	s.CracksSucceeded += other.CracksSucceeded
+	s.CrackCacheHits += other.CrackCacheHits
+	s.KcReuseHits += other.KcReuseHits
+	s.KcReuseMisses += other.KcReuseMisses
+	s.FilteredOut += other.FilteredOut
 }
 
 // Config parameterizes a Sniffer.
@@ -99,6 +122,18 @@ type Sniffer struct {
 	// entries: live traffic never reuses session IDs, so only recent
 	// sessions are worth remembering.
 	kcCache map[uint32]uint64
+	// subKc remembers recovered keys by authentication context, so a
+	// network that skips re-authentication (telecom.Config.ReauthEvery)
+	// hands over every follow-up session of a subscriber after one
+	// crack. Keyed on (IMSI, RAND) — both visible on the air in real
+	// GSM — and bounded like kcCache.
+	subKc map[subKcKey]uint64
+}
+
+// subKcKey identifies one subscriber authentication context.
+type subKcKey struct {
+	imsi string
+	rand [16]byte
 }
 
 // kcCacheMax bounds the replay key cache; on overflow an arbitrary
@@ -126,6 +161,7 @@ func New(net *telecom.Network, cfg Config) *Sniffer {
 		cancels:  make(map[int]func()),
 		sessions: make(map[uint32]*session),
 		kcCache:  make(map[uint32]uint64),
+		subKc:    make(map[subKcKey]uint64),
 	}
 }
 
@@ -217,10 +253,21 @@ func (s *Sniffer) processSession(sess *session) {
 		crackTime time.Duration
 	)
 	if paging.Encrypted {
+		subKey := subKcKey{imsi: paging.IMSI, rand: paging.RAND}
+		subEligible := paging.IMSI != ""
 		s.mu.Lock()
 		cached, hit := s.kcCache[paging.SessionID]
 		if hit {
 			s.stats.CrackCacheHits++
+		} else if subEligible {
+			// Session unseen — but the network may have reused an
+			// authentication context the rig already cracked.
+			if k, ok := s.subKc[subKey]; ok {
+				cached, hit = k, true
+				s.stats.KcReuseHits++
+			} else {
+				s.stats.KcReuseMisses++
+			}
 		}
 		s.mu.Unlock()
 		if hit {
@@ -248,6 +295,15 @@ func (s *Sniffer) processSession(sess *session) {
 				}
 			}
 			s.kcCache[paging.SessionID] = kc
+			if subEligible {
+				if len(s.subKc) >= kcCacheMax {
+					for k := range s.subKc {
+						delete(s.subKc, k)
+						break
+					}
+				}
+				s.subKc[subKey] = kc
+			}
 			s.mu.Unlock()
 		}
 	}

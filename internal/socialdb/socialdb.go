@@ -7,6 +7,11 @@
 // All data here is synthetic (see internal/identity); the package
 // exists to give the attack orchestrator the same two entry points the
 // paper assumes: a victim phone number, and optionally a name/address.
+//
+// The store is sharded: population-scale campaigns (internal/campaign)
+// hammer one DB with millions of concurrent lookups from a worker
+// pool, so records are spread over NumShards independently locked
+// buckets and reads take only a bucket's RLock.
 package socialdb
 
 import (
@@ -27,30 +32,55 @@ type Record struct {
 // ErrNotFound reports a phone with no leaked record.
 var ErrNotFound = errors.New("socialdb: no record for phone")
 
+// NumShards is the bucket count. A power of two keeps the shard index
+// a mask; 64 buckets outnumber any realistic worker-pool size, so
+// concurrent campaign lookups almost never contend on one lock.
+const NumShards = 64
+
 // DB is an in-memory leaked-records store. Safe for concurrent use.
 type DB struct {
-	mu      sync.Mutex
+	shards [NumShards]dbShard
+}
+
+// dbShard is one lock domain of the store.
+type dbShard struct {
+	mu      sync.RWMutex
 	byPhone map[string]Record
+}
+
+// shardOf hashes a phone number to its bucket (FNV-1a).
+func shardOf(phone string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(phone); i++ {
+		h = (h ^ uint32(phone[i])) * 16777619
+	}
+	return int(h & (NumShards - 1))
 }
 
 // New builds an empty DB.
 func New() *DB {
-	return &DB{byPhone: make(map[string]Record)}
+	d := &DB{}
+	for i := range d.shards {
+		d.shards[i].byPhone = make(map[string]Record)
+	}
+	return d
 }
 
 // Add inserts or replaces a record (last write wins, as merged dumps
 // behave).
 func (d *DB) Add(r Record) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.byPhone[r.Phone] = r
+	s := &d.shards[shardOf(r.Phone)]
+	s.mu.Lock()
+	s.byPhone[r.Phone] = r
+	s.mu.Unlock()
 }
 
 // Lookup fetches the record for a phone number.
 func (d *DB) Lookup(phone string) (Record, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	r, ok := d.byPhone[phone]
+	s := &d.shards[shardOf(phone)]
+	s.mu.RLock()
+	r, ok := s.byPhone[phone]
+	s.mu.RUnlock()
 	if !ok {
 		return Record{}, ErrNotFound
 	}
@@ -59,9 +89,31 @@ func (d *DB) Lookup(phone string) (Record, error) {
 
 // Len reports the number of records.
 func (d *DB) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.byPhone)
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		n += len(s.byPhone)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Merge copies every record of src into d (last write wins). Campaign
+// ingestion merges per-shard dumps into one global store with it.
+func (d *DB) Merge(src *DB) {
+	for i := range src.shards {
+		s := &src.shards[i]
+		s.mu.RLock()
+		recs := make([]Record, 0, len(s.byPhone))
+		for _, r := range s.byPhone {
+			recs = append(recs, r)
+		}
+		s.mu.RUnlock()
+		for _, r := range recs {
+			d.Add(r)
+		}
+	}
 }
 
 // PhishingWiFi is the random-attack harvester: a fake access point at

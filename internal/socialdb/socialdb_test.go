@@ -2,6 +2,7 @@ package socialdb
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -64,5 +65,61 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if d.Len() != 8 || len(w.Harvested()) != 8 {
 		t.Errorf("Len=%d harvested=%d want 8/8", d.Len(), len(w.Harvested()))
+	}
+}
+
+// TestShardedConcurrentLookups hammers the sharded store the way
+// campaign workers do: writers merging dumps while readers resolve
+// dossiers, across every bucket. Run under -race this pins the
+// sharded-RWMutex design.
+func TestShardedConcurrentLookups(t *testing.T) {
+	d := New()
+	const writers, readers, perWorker = 4, 8, 2000
+	phone := func(w, i int) string {
+		return fmt.Sprintf("+86138%02d%06d", w, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d.Add(Record{Phone: phone(w, i), RealName: "r", Source: "breach"})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Misses and hits both exercise the read path.
+				_, _ = d.Lookup(phone(r%writers, i))
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got, want := d.Len(), writers*perWorker; got != want {
+		t.Fatalf("Len = %d want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		if _, err := d.Lookup(phone(w, perWorker-1)); err != nil {
+			t.Fatalf("missing record for writer %d: %v", w, err)
+		}
+	}
+}
+
+// TestMerge checks dump merging keeps last-write-wins semantics.
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(Record{Phone: "+8613800000001", Source: "old"})
+	b.Add(Record{Phone: "+8613800000001", Source: "new"})
+	b.Add(Record{Phone: "+8613800000002", Source: "new"})
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if r, _ := a.Lookup("+8613800000001"); r.Source != "new" {
+		t.Fatalf("merge lost last write: %+v", r)
 	}
 }

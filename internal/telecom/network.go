@@ -108,6 +108,12 @@ type RadioBurst struct {
 	Total     int
 	Encrypted bool
 	Payload   []byte
+	// IMSI and RAND identify the authentication context the session
+	// was ciphered under. Real GSM exposes both in the clear (paging
+	// identities, the authentication-request RAND), so a passive
+	// sniffer may key caches on them; they are metadata, not payload.
+	IMSI string
+	RAND [16]byte
 }
 
 // BurstListener receives a copy of every burst on a subscribed ARFCN.
@@ -133,6 +139,15 @@ type Config struct {
 	// network will ever encrypt under (a51.DefaultTableFrames is the
 	// matching window). Zero leaves the counter unwrapped.
 	FrameWrap int
+	// ReauthEvery models operators that skip the authentication
+	// procedure on session setup: a fresh RAND challenge (and hence a
+	// fresh Kc) is run only every ReauthEvery-th GSM SMS session per
+	// subscriber; sessions in between reuse the previous (RAND, Kc).
+	// 0 or 1 re-authenticates every session. Kc reuse is a documented
+	// real-world weakness — an attacker who cracked one session key
+	// reads every following session until the next re-authentication —
+	// and the sniffer's per-subscriber (IMSI, RAND) cache exploits it.
+	ReauthEvery int
 	// Seed drives all nondeterminism (RAND challenges, code session
 	// IDs) for reproducible experiments.
 	Seed int64
@@ -158,6 +173,7 @@ type Network struct {
 	cells       map[string]*Cell
 	serving     map[string]*Terminal // IMSI -> terminal receiving traffic
 	challenges  map[string][16]byte  // IMSI -> outstanding RAND
+	auth        map[string]*authCtx  // IMSI -> current SMS cipher context
 	jammed      map[string]bool      // cell ID -> LTE plane jammed
 	listeners   map[int]map[int]BurstListener
 	nextLid     int
@@ -182,6 +198,7 @@ func NewNetwork(cfg Config) *Network {
 		cells:       make(map[string]*Cell),
 		serving:     make(map[string]*Terminal),
 		challenges:  make(map[string][16]byte),
+		auth:        make(map[string]*authCtx),
 		jammed:      make(map[string]bool),
 		listeners:   make(map[int]map[int]BurstListener),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
@@ -275,9 +292,7 @@ func (n *Network) Register(imsi, msisdn string) (*Subscriber, error) {
 	if _, dup := n.byMSISDN[msisdn]; dup {
 		return nil, fmt.Errorf("%w: MSISDN %s", ErrDuplicateSub, msisdn)
 	}
-	sub := &Subscriber{IMSI: imsi, MSISDN: msisdn}
-	h := sha256.Sum256([]byte(fmt.Sprintf("ki|%d|%s", n.cfg.Seed, imsi)))
-	copy(sub.ki[:], h[:16])
+	sub := &Subscriber{IMSI: imsi, MSISDN: msisdn, ki: kiFor(n.cfg.Seed, imsi)}
 	n.subscribers[imsi] = sub
 	n.byMSISDN[msisdn] = sub
 	return sub, nil
@@ -340,6 +355,40 @@ func PagingPlaintext(sessionID uint32) []byte {
 // bits fits the 114-bit A5/1 burst keystream.
 const burstChunk = 14
 
+// kiFor derives a subscriber's SIM secret from the network seed, so
+// experiments are reproducible and synthesized traffic (SessionKey)
+// agrees with registered subscribers.
+func kiFor(seed int64, imsi string) [16]byte {
+	h := sha256.Sum256([]byte(fmt.Sprintf("ki|%d|%s", seed, imsi)))
+	var ki [16]byte
+	copy(ki[:], h[:16])
+	return ki
+}
+
+// authCtx is the cipher context of a subscriber's GSM SMS sessions:
+// the outstanding RAND, the derived Kc, and how many sessions have
+// run under it (for Config.ReauthEvery).
+type authCtx struct {
+	rand [16]byte
+	kc   uint64
+	uses int
+}
+
+// smsAuthLocked returns the cipher context for the next SMS session,
+// re-running the authentication procedure (fresh RAND, fresh Kc) when
+// the reuse budget is exhausted. Requires n.mu held.
+func (n *Network) smsAuthLocked(sub *Subscriber) *authCtx {
+	ac := n.auth[sub.IMSI]
+	if ac == nil || n.cfg.ReauthEvery <= 1 || ac.uses >= n.cfg.ReauthEvery {
+		var rnd [16]byte
+		n.rng.Read(rnd[:])
+		ac = &authCtx{rand: rnd, kc: deriveKc(sub.ki, rnd, n.cfg.KeySpace)}
+		n.auth[sub.IMSI] = ac
+	}
+	ac.uses++
+	return ac
+}
+
 // deriveKc computes the session key from the SIM secret and the RAND
 // challenge, confined to the configured key space (COMP128 stand-in).
 func deriveKc(ki [16]byte, rnd [16]byte, space a51.KeySpace) uint64 {
@@ -391,59 +440,42 @@ func (n *Network) SendSMS(fromOriginator, toMSISDN, text string) (transport stri
 		Timestamp:  time.Date(2021, 4, 19, 12, 0, 0, 0, time.UTC).Add(time.Duration(n.frame) * time.Second),
 		Text:       text,
 	}
-	raw, err := tpdu.Marshal()
-	if err != nil {
-		n.mu.Unlock()
-		return "", fmt.Errorf("telecom: encode SMS: %w", err)
-	}
-
-	// LTE path: encrypted data plane, invisible to the GSM bus.
+	// LTE path: encrypted data plane, invisible to the GSM bus. The
+	// TPDU is still validated so an unencodable message errors on
+	// every transport.
 	if nativeRAT == RATLTE && cell.LTE && !n.jammedLocked(cell.ID) {
+		if _, err := tpdu.Marshal(); err != nil {
+			n.mu.Unlock()
+			return "", fmt.Errorf("telecom: encode SMS: %w", err)
+		}
 		n.delivered["lte"]++
 		n.mu.Unlock()
 		term.receiveSMS(tpdu)
 		return "lte", nil
 	}
 
-	// GSM path: chunk, encrypt per frame, emit on the air.
-	var rnd [16]byte
-	n.rng.Read(rnd[:])
-	kc := deriveKc(sub.ki, rnd, n.cfg.KeySpace)
+	// GSM path: authenticate (or reuse the cipher context), chunk,
+	// encrypt per frame, emit on the air.
+	ac := n.smsAuthLocked(sub)
 	sessionID := n.nextSession
 	n.nextSession++
-	arfcn := cell.ARFCNs[int(sessionID)%len(cell.ARFCNs)]
-	encrypted := cell.Cipher == CipherA51
-
-	chunks := [][]byte{PagingPlaintext(sessionID)}
-	for off := 0; off < len(raw); off += burstChunk {
-		end := off + burstChunk
-		if end > len(raw) {
-			end = len(raw)
-		}
-		chunks = append(chunks, raw[off:end])
+	bursts, err := EncodeSMSBursts(SMSSession{
+		ARFCN:      cell.ARFCNs[int(sessionID)%len(cell.ARFCNs)],
+		CellID:     cell.ID,
+		SessionID:  sessionID,
+		StartFrame: n.frame,
+		FrameWrap:  n.cfg.FrameWrap,
+		Encrypted:  cell.Cipher == CipherA51,
+		Kc:         ac.kc,
+		IMSI:       sub.IMSI,
+		RAND:       ac.rand,
+		Deliver:    tpdu,
+	})
+	if err != nil {
+		n.mu.Unlock()
+		return "", err
 	}
-	bursts := make([]RadioBurst, 0, len(chunks))
-	for seq, chunk := range chunks {
-		frame := n.frame
-		n.frame++
-		if n.cfg.FrameWrap > 0 {
-			frame %= uint32(n.cfg.FrameWrap)
-		}
-		payload := append([]byte(nil), chunk...)
-		if encrypted {
-			payload = a51.EncryptBurst(kc, frame, payload)
-		}
-		bursts = append(bursts, RadioBurst{
-			ARFCN:     arfcn,
-			CellID:    cell.ID,
-			Frame:     frame,
-			SessionID: sessionID,
-			Seq:       seq,
-			Total:     len(chunks),
-			Encrypted: encrypted,
-			Payload:   payload,
-		})
-	}
+	n.frame += uint32(len(bursts))
 	mode := cell.Cipher
 	n.delivered["gsm:"+mode.String()]++
 	n.mu.Unlock()

@@ -1,0 +1,92 @@
+package telecom
+
+import (
+	"fmt"
+
+	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/gsmcodec"
+)
+
+// SMSSession describes one SMS transmission on the GSM air interface:
+// the radio coordinates (channel, cell, session and frame numbers),
+// the cipher context, and the TPDU to carry. Network.SendSMS encodes
+// its live traffic through it, and the population-scale campaign
+// engine (internal/campaign) synthesizes air traffic for millions of
+// subscribers without driving a full Network — both produce
+// bit-identical bursts for the same parameters.
+type SMSSession struct {
+	ARFCN     int
+	CellID    string
+	SessionID uint32
+	// StartFrame is the cipher frame number of the paging burst;
+	// every following burst increments it. FrameWrap, when positive,
+	// wraps each emitted frame number modulo FrameWrap (see
+	// Config.FrameWrap).
+	StartFrame uint32
+	FrameWrap  int
+	// Encrypted selects A5/1 protection under Kc.
+	Encrypted bool
+	Kc        uint64
+	// IMSI and RAND identify the authentication context the session
+	// runs under. Both are visible on the air in real GSM — paging
+	// identities and the RAND of the authentication request travel in
+	// the clear — which is what lets a passive sniffer key a
+	// per-subscriber Kc cache on them.
+	IMSI string
+	RAND [16]byte
+	// Deliver is the SMS payload.
+	Deliver gsmcodec.Deliver
+}
+
+// EncodeSMSBursts chunks the session's TPDU into radio bursts: burst 0
+// is the predictable paging burst (the known-plaintext foothold), the
+// rest carry burstChunk-byte payload slices, each encrypted under its
+// own frame number when the session is A5/1-protected.
+func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
+	raw, err := s.Deliver.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("telecom: encode SMS: %w", err)
+	}
+	chunks := [][]byte{PagingPlaintext(s.SessionID)}
+	for off := 0; off < len(raw); off += burstChunk {
+		end := off + burstChunk
+		if end > len(raw) {
+			end = len(raw)
+		}
+		chunks = append(chunks, raw[off:end])
+	}
+	bursts := make([]RadioBurst, 0, len(chunks))
+	for seq, chunk := range chunks {
+		frame := s.StartFrame + uint32(seq)
+		if s.FrameWrap > 0 {
+			frame %= uint32(s.FrameWrap)
+		}
+		payload := append([]byte(nil), chunk...)
+		if s.Encrypted {
+			payload = a51.EncryptBurst(s.Kc, frame, payload)
+		}
+		bursts = append(bursts, RadioBurst{
+			ARFCN:     s.ARFCN,
+			CellID:    s.CellID,
+			Frame:     frame,
+			SessionID: s.SessionID,
+			Seq:       seq,
+			Total:     len(chunks),
+			Encrypted: s.Encrypted,
+			Payload:   payload,
+			IMSI:      s.IMSI,
+			RAND:      s.RAND,
+		})
+	}
+	return bursts, nil
+}
+
+// SessionKey computes the Kc a network created with the given seed
+// would derive for subscriber imsi under challenge rnd, confined to
+// space. It mirrors Register's Ki derivation plus the COMP128
+// stand-in, so synthesized traffic (campaign radio batches) and live
+// Network traffic agree on keys without registering millions of
+// subscribers in one HLR.
+func SessionKey(seed int64, imsi string, rnd [16]byte, space a51.KeySpace) uint64 {
+	return deriveKc(kiFor(seed, imsi), rnd, space)
+}

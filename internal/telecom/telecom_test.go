@@ -531,3 +531,121 @@ func BenchmarkSendSMSA51(b *testing.B) {
 		}
 	}
 }
+
+// TestBurstAuthContext checks that emitted bursts carry the identity
+// context (IMSI, RAND) of the session — the clear-text metadata real
+// GSM exposes during paging and authentication.
+func TestBurstAuthContext(t *testing.T) {
+	n, _, sub, _ := testNet(t)
+	var bursts []RadioBurst
+	var mu sync.Mutex
+	for _, a := range []int{512, 513} {
+		cancel := n.Subscribe(a, func(b RadioBurst) {
+			mu.Lock()
+			bursts = append(bursts, b)
+			mu.Unlock()
+		})
+		defer cancel()
+	}
+	if _, err := n.SendSMS("Svc", sub.MSISDN, "code 111111"); err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) == 0 {
+		t.Fatal("no bursts emitted")
+	}
+	for _, b := range bursts {
+		if b.IMSI != sub.IMSI {
+			t.Fatalf("burst IMSI = %q want %q", b.IMSI, sub.IMSI)
+		}
+		if b.RAND == ([16]byte{}) {
+			t.Fatal("burst RAND empty on encrypted session")
+		}
+	}
+}
+
+// TestReauthEveryReusesContext pins the skipped-re-authentication
+// model: RAND (and hence Kc) rotates only every ReauthEvery-th SMS
+// session per subscriber.
+func TestReauthEveryReusesContext(t *testing.T) {
+	n := NewNetwork(Config{
+		KeySpace:    a51.KeySpace{Base: 0xC118000000000000, Bits: 12},
+		Seed:        7,
+		ReauthEvery: 2,
+	})
+	cell, err := n.AddCell(Cell{ID: "c", ARFCNs: []int{512}, Cipher: CipherA51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n.Register("460001234567890", "+8613800000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := n.NewTerminal(sub, RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	var rands [][16]byte
+	var mu sync.Mutex
+	cancel := n.Subscribe(512, func(b RadioBurst) {
+		if b.Seq == 0 {
+			mu.Lock()
+			rands = append(rands, b.RAND)
+			mu.Unlock()
+		}
+	})
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if _, err := n.SendSMS("Svc", sub.MSISDN, "code 111111"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rands) != 4 {
+		t.Fatalf("paging bursts = %d", len(rands))
+	}
+	if rands[0] != rands[1] || rands[2] != rands[3] {
+		t.Fatal("sessions within an epoch must share RAND")
+	}
+	if rands[0] == rands[2] {
+		t.Fatal("epochs must rotate RAND")
+	}
+}
+
+// TestEncodeSMSBursts checks the standalone encoder produces the
+// session structure the sniffer expects: paging burst first, frames
+// wrapped, payload decryptable back to the TPDU.
+func TestEncodeSMSBursts(t *testing.T) {
+	deliver := gsmcodec.Deliver{Originator: "Svc", Text: "code 845512"}
+	const kc = 0xC118000000000042
+	bursts, err := EncodeSMSBursts(SMSSession{
+		ARFCN: 512, CellID: "c", SessionID: 9, StartFrame: 49, FrameWrap: 51,
+		Encrypted: true, Kc: kc, IMSI: "460001234567890",
+		Deliver: deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) < 2 {
+		t.Fatalf("bursts = %d", len(bursts))
+	}
+	if bursts[0].Seq != 0 || bursts[0].Total != len(bursts) {
+		t.Fatalf("paging burst = %+v", bursts[0])
+	}
+	if bursts[0].Frame != 49 || bursts[1].Frame != 50 || bursts[2].Frame != 0 {
+		t.Fatalf("frame wrap broken: %d %d %d", bursts[0].Frame, bursts[1].Frame, bursts[2].Frame)
+	}
+	// Decrypt payload bursts and reassemble the TPDU.
+	var tpdu []byte
+	for _, b := range bursts[1:] {
+		tpdu = append(tpdu, a51.EncryptBurst(kc, b.Frame, b.Payload)...)
+	}
+	msg, err := gsmcodec.UnmarshalDeliver(tpdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Text != deliver.Text || msg.Originator != deliver.Originator {
+		t.Fatalf("round trip = %+v", msg)
+	}
+}
