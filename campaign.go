@@ -23,6 +23,11 @@ type (
 	CampaignEngine = campaign.Engine
 	// CampaignSummary aggregates a campaign run's metrics.
 	CampaignSummary = campaign.Summary
+	// CampaignScenario declares one campaign run: countermeasure
+	// policy, radio environment, attacker budget and victim segment.
+	CampaignScenario = campaign.Scenario
+	// SweepSummary is the comparative output of a scenario sweep.
+	SweepSummary = campaign.SweepSummary
 )
 
 // NewPopulation builds a subscriber generator. Subscriber i is a pure
@@ -45,4 +50,17 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignSummary, err
 		return nil, err
 	}
 	return eng.Run(ctx)
+}
+
+// RunSweep is the one-call fortification evaluator: every scenario
+// runs against the same population, cracker table and rig pool, and
+// the comparative summary shows the per-scenario takeover-mass deltas.
+// A nil scenario list runs campaign.DefaultSweep (baseline, fortified,
+// A5/3 mix).
+func RunSweep(ctx context.Context, cfg CampaignConfig, scenarios []CampaignScenario) (*SweepSummary, error) {
+	eng, err := campaign.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunSweep(ctx, scenarios)
 }

@@ -5,12 +5,22 @@
 // TMTO table — and evaluates how far the compromise chains propagate
 // through the calibrated 201-service account ecosystem.
 //
+// With -sweep it becomes the fortification evaluator: several
+// declarative scenarios (countermeasure policy × radio environment ×
+// attacker budget × victim segment) run against the SAME population
+// and the SAME cracker table in one process, and the comparative
+// report shows how much each program shrinks the takeover mass.
+//
 // Usage:
 //
-//	campaign                          # 1M subscribers, table backend
-//	campaign -subscribers 5000        # CI-sized smoke run
-//	campaign -backend bitsliced       # per-session search, no table
-//	campaign -platform web -top 25
+//	campaign                                   # 1M subscribers, table backend
+//	campaign -subscribers 5000                 # CI-sized smoke run
+//	campaign -backend bitsliced                # per-session search, no table
+//	campaign -policy fortify-all               # one fortified run
+//	campaign -sweep                            # baseline vs fortified vs A5/3 mix
+//	campaign -sweep -scenarios baseline,harden-email
+//	campaign -sweep -scenario-file sweep.json  # declarative scenario list
+//	campaign -json                             # machine-readable summary
 package main
 
 import (
@@ -21,8 +31,8 @@ import (
 	"strings"
 
 	"github.com/actfort/actfort/internal/campaign"
-	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/population"
+	"github.com/actfort/actfort/internal/report"
 )
 
 func main() {
@@ -33,32 +43,60 @@ func main() {
 		seed        = flag.Int64("seed", 42, "population/world seed")
 		backend     = flag.String("backend", "table", "shared A5/1 cracker backend (table, bitsliced, parallel, exhaustive)")
 		keyBits     = flag.Int("keybits", 12, "A5/1 session-key space bits")
-		platform    = flag.String("platform", "both", "attacked platforms: web, mobile or both")
 		leak        = flag.Float64("leak", population.DefaultLeakFraction, "fraction of subscribers in leak databases")
-		coverage    = flag.Float64("coverage", 1.0, "probability the rig covers a victim's cell")
-		a50         = flag.Float64("a50", 0.2, "fraction of victims on unencrypted (A5/0) cells")
-		reauthSkip  = flag.Float64("reauth-skip", 0.6, "probability a follow-up session reuses the victim's (RAND, Kc)")
-		sessions    = flag.Int("sessions", 3, "OTP sessions sniffed per victim")
 		top         = flag.Int("top", 15, "services shown in the takeover ranking")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		jsonOut     = flag.Bool("json", false, "emit the summary as JSON instead of tables")
+
+		// Single-run scenario knobs (ignored under -sweep).
+		policy     = flag.String("policy", "", "countermeasure policy fortifying the catalog (none, unified-masking, harden-email, builtin-auth, fortify-all)")
+		platform   = flag.String("platform", "both", "attacked platforms: web, mobile or both")
+		a50        = flag.Float64("a50", 0.2, "fraction of victims on unencrypted (A5/0) cells")
+		a53        = flag.Float64("a53", 0, "fraction of victims on A5/3-upgraded (uncrackable) cells")
+		reauthSkip = flag.Float64("reauth-skip", 0.6, "probability a follow-up session reuses the victim's (RAND, Kc)")
+		sessions   = flag.Int("sessions", 3, "OTP sessions sniffed per victim")
+		receivers  = flag.Int("receivers", 16, "attacker receiver fleet size")
+		channels   = flag.Int("channels", 0, "ARFCNs per serving cell (0 = fleet covers every channel)")
+		segDomain  = flag.String("segment-domain", "", "restrict victims to subscribers of this service domain (e.g. fintech)")
+		segLeak    = flag.String("segment-leak", "", "restrict victims to a leak cohort: leaked, clean, breach or wifi")
+
+		// Sweep mode.
+		sweep        = flag.Bool("sweep", false, "run a comparative scenario sweep over one shared population")
+		scenarios    = flag.String("scenarios", "", "with -sweep: comma-separated built-in scenario names (empty = baseline,fortified,a53-mix)")
+		scenarioFile = flag.String("scenario-file", "", "with -sweep: JSON file holding the scenario list (overrides -scenarios)")
 	)
 	flag.Parse()
 	// The library Configs read 0 as "use the default" and negative as
 	// "off"; translate an explicitly passed 0 so `-a50 0` really means
-	// no unencrypted cells (and likewise -leak/-coverage/-reauth-skip).
+	// no unencrypted cells (and likewise -leak/-a53/-reauth-skip) and
+	// `-receivers 0` really means no interception fleet.
 	zeroOff := map[string]*float64{
-		"leak": leak, "coverage": coverage, "a50": a50, "reauth-skip": reauthSkip,
+		"leak": leak, "a50": a50, "a53": a53, "reauth-skip": reauthSkip,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if p, ok := zeroOff[f.Name]; ok && *p == 0 {
 			*p = -1
 		}
+		if f.Name == "receivers" && *receivers == 0 {
+			*receivers = -1
+		}
 	})
 	if err := run(runCfg{
 		subscribers: *subscribers, shardSize: *shardSize, workers: *workers,
-		seed: *seed, backend: *backend, keyBits: *keyBits, platform: *platform,
-		leak: *leak, coverage: *coverage, a50: *a50, reauthSkip: *reauthSkip,
-		sessions: *sessions, top: *top, quiet: *quiet,
+		seed: *seed, backend: *backend, keyBits: *keyBits, leak: *leak,
+		top: *top, quiet: *quiet, jsonOut: *jsonOut,
+		scenario: campaign.Scenario{
+			Name:     "cli",
+			Policy:   *policy,
+			Platform: *platform,
+			Radio: campaign.RadioEnv{
+				A50Fraction: *a50, A53Fraction: *a53,
+				ReauthSkip: *reauthSkip, OTPSessions: *sessions,
+			},
+			Budget:  campaign.AttackerBudget{Receivers: *receivers, CellChannels: *channels},
+			Segment: campaign.VictimSegment{Domain: *segDomain, LeakTier: *segLeak},
+		},
+		sweep: *sweep, scenarios: *scenarios, scenarioFile: *scenarioFile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
@@ -66,26 +104,47 @@ func main() {
 }
 
 type runCfg struct {
-	subscribers, shardSize, workers, keyBits, sessions, top int
-	seed                                                    int64
-	backend, platform                                       string
-	leak, coverage, a50, reauthSkip                         float64
-	quiet                                                   bool
+	subscribers, shardSize, workers, keyBits, top int
+	seed                                          int64
+	backend                                       string
+	leak                                          float64
+	quiet, jsonOut                                bool
+	scenario                                      campaign.Scenario
+	sweep                                         bool
+	scenarios                                     string
+	scenarioFile                                  string
+}
+
+// sweepList resolves the -sweep scenario selection.
+func sweepList(c runCfg) ([]campaign.Scenario, error) {
+	if c.scenarioFile != "" {
+		f, err := os.Open(c.scenarioFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return campaign.LoadScenarios(f)
+	}
+	if c.scenarios == "" {
+		return campaign.DefaultSweep(), nil
+	}
+	var out []campaign.Scenario
+	for _, name := range strings.Split(c.scenarios, ",") {
+		name = strings.TrimSpace(name)
+		sc, ok := campaign.BuiltinScenario(name)
+		if !ok {
+			known := make([]string, 0, 8)
+			for _, b := range campaign.BuiltinScenarios() {
+				known = append(known, b.Name)
+			}
+			return nil, fmt.Errorf("unknown scenario %q (built-ins: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, sc)
+	}
+	return out, nil
 }
 
 func run(c runCfg) error {
-	var platforms []ecosys.Platform
-	switch strings.ToLower(c.platform) {
-	case "web":
-		platforms = []ecosys.Platform{ecosys.PlatformWeb}
-	case "mobile":
-		platforms = []ecosys.Platform{ecosys.PlatformMobile}
-	case "both", "":
-		platforms = ecosys.AllPlatforms()
-	default:
-		return fmt.Errorf("unknown platform %q (want web, mobile or both)", c.platform)
-	}
-
 	pop, err := population.New(population.Config{
 		Seed:         c.seed,
 		Size:         c.subscribers,
@@ -108,18 +167,17 @@ func run(c runCfg) error {
 		}
 	}
 
-	eng, err := campaign.New(campaign.Config{
-		Population:  pop,
-		Workers:     c.workers,
-		Backend:     c.backend,
-		KeyBits:     c.keyBits,
-		Platforms:   platforms,
-		OTPSessions: c.sessions,
-		ReauthSkip:  c.reauthSkip,
-		A50Fraction: c.a50,
-		Coverage:    c.coverage,
-		Progress:    progress,
-	})
+	cfg := campaign.Config{
+		Population: pop,
+		Workers:    c.workers,
+		Backend:    c.backend,
+		KeyBits:    c.keyBits,
+		Progress:   progress,
+	}
+	if !c.sweep {
+		cfg.Scenario = c.scenario
+	}
+	eng, err := campaign.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -128,9 +186,35 @@ func run(c runCfg) error {
 			pop.Size(), pop.NumShards(), eng.Cracker().Name())
 	}
 
+	if c.sweep {
+		list, err := sweepList(c)
+		if err != nil {
+			return err
+		}
+		if !c.quiet {
+			names := make([]string, 0, len(list))
+			for _, sc := range list {
+				names = append(names, sc.Name)
+			}
+			fmt.Fprintf(os.Stderr, "campaign: sweeping %d scenarios: %s\n", len(list), strings.Join(names, ", "))
+		}
+		sw, err := eng.RunSweep(context.Background(), list)
+		if err != nil {
+			return err
+		}
+		if c.jsonOut {
+			return report.WriteJSON(os.Stdout, sw)
+		}
+		fmt.Println(sw.Render(pop.Services(), c.top))
+		return nil
+	}
+
 	sum, err := eng.Run(context.Background())
 	if err != nil {
 		return err
+	}
+	if c.jsonOut {
+		return report.WriteJSON(os.Stdout, sum)
 	}
 	fmt.Println(sum.Render(pop.Services(), c.top))
 	return nil

@@ -58,10 +58,10 @@ func main() {
 	netCfg := telecom.Config{KeySpace: space, Seed: 7}
 	var cracker a51.Cracker
 	if *backend == "table" {
-		// The table covers frames [0, DefaultTableFrames); wrap the
-		// network's cipher counter into that window so every session
-		// resolves by lookup.
-		netCfg.FrameWrap = a51.DefaultTableFrames
+		// The network schedules paging bursts on the CCCH frame
+		// classes of the 51×26 COUNT schedule; a table precomputed
+		// over telecom.PagingFrames() resolves every session by
+		// lookup.
 		table, err := obtainTable(space, *tableFile, *chainLen)
 		if err != nil {
 			fatal(err)
@@ -156,17 +156,17 @@ func obtainTable(space a51.KeySpace, path string, chainLen int) (*a51.Table, err
 				return nil, fmt.Errorf("table %s was built for base=%#x bits=%d, want bits=%d (delete it to rebuild)",
 					path, table.Space().Base, table.Space().Bits, space.Bits)
 			}
-			// The network wraps frames to DefaultTableFrames; a table
-			// covering fewer frames would silently degrade uncovered
+			// The network pages on the CCCH frame classes; a table
+			// missing any of them would silently degrade uncovered
 			// sessions to full sweeps.
 			covered := make(map[uint32]bool, len(table.Frames()))
 			for _, f := range table.Frames() {
 				covered[f] = true
 			}
-			for f := uint32(0); f < a51.DefaultTableFrames; f++ {
+			for _, f := range telecom.PagingFrames() {
 				if !covered[f] {
-					return nil, fmt.Errorf("table %s covers %d frames but frame %d of the %d-frame window is missing (delete it to rebuild)",
-						path, len(table.Frames()), f, a51.DefaultTableFrames)
+					return nil, fmt.Errorf("table %s covers %d frames but paging frame class %d is missing (delete it to rebuild)",
+						path, len(table.Frames()), f)
 				}
 			}
 			fmt.Printf("table: loaded %s (%d frames)\n", path, len(table.Frames()))
@@ -178,7 +178,7 @@ func obtainTable(space a51.KeySpace, path string, chainLen int) (*a51.Table, err
 		}
 	}
 	start := time.Now()
-	table, err := a51.BuildTable(space, a51.TableConfig{ChainLen: chainLen})
+	table, err := a51.BuildTable(space, a51.TableConfig{Frames: telecom.PagingFrames(), ChainLen: chainLen})
 	if err != nil {
 		return nil, err
 	}

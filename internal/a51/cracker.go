@@ -90,8 +90,8 @@ func (e Exhaustive) Recover(ctx context.Context, keystream []byte, frame uint32,
 //	"exhaustive"          serial brute force
 //	"parallel"            brute force over all cores
 //	"bitsliced" (or "")   64-lane bitsliced search, the default
-//	"table"               TMTO table built for space over the default
-//	                      frame window (DefaultTableFrames)
+//	"table"               TMTO table built for space over the paging
+//	                      frame classes (PagingFrames)
 //
 // workers bounds the parallelism of the backend (and of the table
 // build); 0 means GOMAXPROCS.

@@ -1,0 +1,89 @@
+package a51
+
+import "sort"
+
+// GSM organizes the TDMA frame number into two interlocking multiframe
+// cycles: the 26-multiframe carries traffic channels, the 51-multiframe
+// carries the control channels (FCCH/SCH/BCCH/CCCH). A5 is keyed per
+// burst with the 22-bit COUNT value derived from the frame number:
+//
+//	COUNT = T1 (11 bits) | T3 (6 bits: frame mod 51) | T2 (5 bits: frame mod 26)
+//
+// where T1 is the superframe counter. This schedule lives here, next
+// to the cipher it keys, so table backends and the telecom substrate
+// share one definition: the model pins T1 to zero — the reduced
+// hyperframe, the same substitution KeySpace applies to the key space —
+// making the cipher counter periodic with period lcm(51, 26) = 1326,
+// coverable by a precomputed table.
+const (
+	// Multi26 is the traffic-channel multiframe length.
+	Multi26 = 26
+	// Multi51 is the control-channel multiframe length.
+	Multi51 = 51
+	// HyperPeriod is the reduced hyperframe: with T1 pinned to zero the
+	// COUNT sequence repeats every lcm(51, 26) frames.
+	HyperPeriod = Multi26 * Multi51
+)
+
+// Count22 maps an absolute downlink frame number to the 22-bit COUNT
+// value A5/1 is keyed with, under the reduced (T1 = 0) hyperframe:
+// T3 = fn mod 51 in bits 10..5, T2 = fn mod 26 in bits 4..0. Distinct
+// frame numbers within one hyperframe map to distinct COUNT values
+// (CRT: 51 and 26 are coprime).
+func Count22(fn uint32) uint32 {
+	fn %= HyperPeriod
+	return (fn%Multi51)<<5 | fn%Multi26
+}
+
+// pagingT3 lists the CCCH block start positions of the standard
+// non-combined 51-multiframe downlink layout (FCCH on 0/10/20/30/40,
+// SCH one frame later, BCCH on 2–5, CCCH blocks everywhere else).
+// Paging requests — the predictable system messages the known-plaintext
+// attack footholds on — are only ever transmitted at these positions.
+var pagingT3 = [...]uint32{6, 12, 16, 22, 26, 32, 36, 42, 46}
+
+// IsPagingStart reports whether frame fn begins a CCCH paging block.
+func IsPagingStart(fn uint32) bool {
+	t3 := fn % Multi51
+	for _, p := range pagingT3 {
+		if t3 == p {
+			return true
+		}
+	}
+	return false
+}
+
+// NextPagingStart returns the first frame at or after fn whose
+// 51-multiframe position is a CCCH paging block start. The network
+// schedules every SMS session's paging burst on one, which is what
+// makes the ciphered known plaintext land on predictable frame
+// classes.
+func NextPagingStart(fn uint32) uint32 {
+	for !IsPagingStart(fn) {
+		fn++
+	}
+	return fn
+}
+
+// PagingFrames enumerates, sorted, every COUNT value a paging burst
+// can be ciphered under: the CCCH block positions of the 51-multiframe
+// crossed with all 26-multiframe phases (9 × 26 = 234 frame classes).
+// Table backends precompute exactly this set — far smaller than the
+// 1326-frame hyperframe — and still resolve every paging burst the
+// network emits by lookup.
+func PagingFrames() []uint32 {
+	seen := make(map[uint32]bool, len(pagingT3)*Multi26)
+	out := make([]uint32, 0, len(pagingT3)*Multi26)
+	for fn := uint32(0); fn < HyperPeriod; fn++ {
+		if !IsPagingStart(fn) {
+			continue
+		}
+		c := Count22(fn)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

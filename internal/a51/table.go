@@ -12,11 +12,12 @@ import (
 	"sync"
 )
 
-// DefaultTableFrames is the frame window a Table covers by default:
-// one GSM 51-multiframe. A network configured with
-// telecom.Config.FrameWrap = DefaultTableFrames only ever encrypts
-// under frames the table has precomputed — the reduced-scale analogue
-// of the Kraken tables covering the full cipher state space.
+// DefaultTableFrames is the contiguous frame window FrameRange-based
+// callers (tests, ablations) conventionally use: one GSM
+// 51-multiframe. Tables built with no explicit frame set default to
+// PagingFrames() instead — the COUNT frame classes the network can
+// actually put a known-plaintext paging burst on — the reduced-scale
+// analogue of the Kraken tables covering the full cipher state space.
 const DefaultTableFrames = 51
 
 // tableFPBits is the keystream-prefix fingerprint width. 40 bits
@@ -46,7 +47,7 @@ func FrameRange(n int) []uint32 {
 // TableConfig parameterizes BuildTable.
 type TableConfig struct {
 	// Frames lists the frame numbers to precompute; nil means
-	// FrameRange(DefaultTableFrames).
+	// PagingFrames(), the COUNT classes paging bursts land on.
 	Frames []uint32
 	// ChainLen is the target mean distinguished-point chain length
 	// (rounded to a power of two, clamped to the space); 0 means
@@ -116,7 +117,7 @@ func BuildTable(space KeySpace, cfg TableConfig) (*Table, error) {
 	}
 	frames := cfg.Frames
 	if len(frames) == 0 {
-		frames = FrameRange(DefaultTableFrames)
+		frames = PagingFrames()
 	}
 	chainLen := uint64(cfg.ChainLen)
 	if chainLen == 0 {

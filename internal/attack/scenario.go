@@ -80,13 +80,16 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
 		Seed:     cfg.Seed,
 	}
-	if cfg.CrackBackend == "table" {
-		// Wrap cipher frames into the table's precomputed window so
-		// every burst the network ever encrypts is covered.
-		netCfg.FrameWrap = a51.DefaultTableFrames
-	}
 	net := telecom.NewNetwork(netCfg)
-	cracker, err := a51.NewCracker(cfg.CrackBackend, net.KeySpace(), 0)
+	var cracker a51.Cracker
+	if cfg.CrackBackend == "table" {
+		// Precompute the table over the paging frame classes of the
+		// 51×26 COUNT schedule, so every known-plaintext burst the
+		// network emits resolves by lookup.
+		cracker, err = a51.BuildTable(net.KeySpace(), a51.TableConfig{Frames: telecom.PagingFrames()})
+	} else {
+		cracker, err = a51.NewCracker(cfg.CrackBackend, net.KeySpace(), 0)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@
 // paper's chain-reaction attack not against one victim but across a
 // synthetic subscriber population of millions (internal/population),
 // quantifying how far one sniffed SMS OTP "goes nuclear" through the
-// account ecosystem at operator scale.
+// account ecosystem at operator scale — and, through declarative
+// Scenarios and the sweep driver, how much fortification shrinks that
+// mass.
 //
 // Architecture (the template every scaling subsystem follows):
 //
@@ -16,12 +18,16 @@
 //     the same burst encoder the live Network uses and feeds them to a
 //     per-shard passive sniffer rig — batched sniffer sessions;
 //   - all rigs share ONE A5/1 cracker backend, so a single precomputed
-//     TMTO table is amortized across the entire population;
+//     TMTO table is amortized across the entire population AND across
+//     every scenario of a sweep; rigs themselves are pooled and reused
+//     between shards and between scenarios with an unchanged radio
+//     environment;
 //   - harvested leak records live in one sharded socialdb hit by every
 //     worker concurrently;
 //   - per-victim chain reactions are evaluated against a precompiled
 //     Transformation Dependency Graph plan (integer tables, no
-//     per-victim graph builds);
+//     per-victim graph builds); each scenario compiles its own plan
+//     from its policy-fortified catalog, cached by (policy, platform);
 //   - metrics stream to a single aggregator as per-shard partial
 //     summaries and render through internal/report.
 package campaign
@@ -33,9 +39,11 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/actfort/actfort/internal/a51"
+	"github.com/actfort/actfort/internal/countermeasure"
 	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/gsmcodec"
 	"github.com/actfort/actfort/internal/population"
@@ -44,7 +52,9 @@ import (
 	"github.com/actfort/actfort/internal/telecom"
 )
 
-// Config parameterizes an Engine.
+// Config parameterizes an Engine: the shared resources every scenario
+// of a sweep reuses. Per-run knobs (countermeasure policy, radio
+// environment, attacker budget, victim cohort) live in Scenario.
 type Config struct {
 	// Population is the subscriber base to attack (required).
 	Population *population.Population
@@ -57,39 +67,50 @@ type Config struct {
 	// KeyBits is the A5/1 session-key space (0 = 12, as the case-study
 	// scenarios use).
 	KeyBits int
-	// Platforms restricts the attacked presences (nil = both).
-	Platforms []ecosys.Platform
-	// OTPSessions is how many OTP transmissions the rig observes per
-	// victim (0 = 3: the chain's first factors). Follow-up sessions
-	// reuse the victim's cipher context with probability ReauthSkip.
-	OTPSessions int
-	// ReauthSkip is the probability a follow-up session runs under a
-	// reused (RAND, Kc) — the operator skipped re-authentication
-	// (0 = 0.6; negative = never skip).
-	ReauthSkip float64
-	// A50Fraction is the share of victims camped on unencrypted cells
-	// (0 = 0.2; negative = everyone encrypted).
-	A50Fraction float64
-	// Coverage is the probability the rig overhears a given victim's
-	// serving cell (0 = 1.0: the fleet covers every channel).
-	Coverage float64
+	// Scenario is the default scenario Run executes; the zero value is
+	// the paper's baseline environment (no policy, measured radio mix,
+	// full-coverage 16-receiver fleet, whole population).
+	Scenario Scenario
 	// Progress, when non-nil, receives (subscribersDone, total) after
-	// every merged shard.
+	// every merged shard of the scenario currently running.
 	Progress func(done, total int)
 }
 
-// Engine is a configured campaign. Build with New, execute with Run.
+// Engine owns the shared campaign state. Build with New, execute one
+// scenario with Run/RunScenario or a comparative list with RunSweep.
 type Engine struct {
 	cfg     Config
 	space   a51.KeySpace
 	cracker a51.Cracker
-	plan    *attackPlan
 	// leaks is the attacker's merged leak database, assembled during
 	// the harvest phase and hit concurrently by every attack worker.
-	leaks *socialdb.DB
+	// It persists across sweep scenarios: the records are population
+	// facts, independent of any scenario knob. harvested marks shards
+	// already merged, so later scenarios skip the redundant rewrite.
+	leaks     *socialdb.DB
+	harvested []atomic.Bool
+
+	// plans caches compiled attack plans by (policy, platform): a sweep
+	// comparing radio environments under one policy compiles once.
+	planMu sync.Mutex
+	plans  map[planKey]*attackPlan
+
+	// The rig pool: free sniffer rigs reusable by any worker, valid
+	// while the radio-environment signature is unchanged. rigsBuilt
+	// counts constructions so tests can pin reuse.
+	rigMu     sync.Mutex
+	rigSig    string
+	rigFree   []*sniffer.Sniffer
+	rigsBuilt atomic.Int64
 }
 
-// New compiles the attack plan and builds the shared cracker backend
+// planKey identifies one compiled plan.
+type planKey struct {
+	policy   string
+	platform string
+}
+
+// New validates the shared resources and builds the cracker backend
 // (including the one-off TMTO table precomputation for "table").
 func New(cfg Config) (*Engine, error) {
 	if cfg.Population == nil {
@@ -101,31 +122,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.KeyBits <= 0 {
 		cfg.KeyBits = 12
 	}
-	if len(cfg.Platforms) == 0 {
-		cfg.Platforms = ecosys.AllPlatforms()
-	}
-	if cfg.OTPSessions <= 0 {
-		cfg.OTPSessions = 3
-	}
-	if cfg.ReauthSkip == 0 {
-		cfg.ReauthSkip = 0.6
-	} else if cfg.ReauthSkip < 0 {
-		cfg.ReauthSkip = 0
-	}
-	if cfg.A50Fraction == 0 {
-		cfg.A50Fraction = 0.2
-	} else if cfg.A50Fraction < 0 {
-		cfg.A50Fraction = 0
-	}
-	if cfg.Coverage == 0 {
-		cfg.Coverage = 1.0
-	} else if cfg.Coverage < 0 {
-		cfg.Coverage = 0
-	}
 	e := &Engine{
-		cfg:   cfg,
-		space: a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
-		leaks: socialdb.New(),
+		cfg:       cfg,
+		space:     a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
+		leaks:     socialdb.New(),
+		harvested: make([]atomic.Bool, cfg.Population.NumShards()),
+		plans:     make(map[planKey]*attackPlan),
 	}
 	var err error
 	e.cracker = cfg.Cracker
@@ -139,8 +141,13 @@ func New(cfg Config) (*Engine, error) {
 			// short chains cost a little more memory (still megabytes
 			// at simulation key sizes) and cut the per-session replay
 			// work several-fold — the right trade when one table is
-			// amortized over millions of cracks.
-			e.cracker, err = a51.BuildTable(e.space, a51.TableConfig{ChainLen: 2})
+			// amortized over millions of cracks. It covers exactly the
+			// CCCH paging frame classes the 51×26 COUNT schedule can
+			// put a known-plaintext burst on.
+			e.cracker, err = a51.BuildTable(e.space, a51.TableConfig{
+				Frames:   telecom.PagingFrames(),
+				ChainLen: 2,
+			})
 		} else {
 			e.cracker, err = a51.NewCracker(backend, e.space, 0)
 		}
@@ -148,7 +155,9 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	if e.plan, err = buildPlan(cfg.Population.Catalog(), cfg.Platforms); err != nil {
+	// Compile the default scenario's plan eagerly so a misconfigured
+	// Config fails at New, like it always has.
+	if _, err := e.planForScenario(cfg.Scenario); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -161,16 +170,110 @@ func (e *Engine) Cracker() a51.Cracker { return e.cracker }
 // LeakDB exposes the merged leak database after Run.
 func (e *Engine) LeakDB() *socialdb.DB { return e.leaks }
 
-// Run executes the campaign: harvest the leak databases, then attack
-// every shard through the worker pool, streaming partial summaries
-// into one aggregate. The returned Summary is deterministic for a
-// fixed config apart from Duration/VictimsPerSec.
-func (e *Engine) Run(ctx context.Context) (*Summary, error) {
-	start := time.Now()
-	sum, err := e.attack(ctx)
+// RigsBuilt reports how many sniffer rigs the engine has constructed.
+// Sweep tests pin rig reuse with it: scenarios sharing a radio
+// environment must not grow it beyond the worker count.
+func (e *Engine) RigsBuilt() int64 { return e.rigsBuilt.Load() }
+
+// planForScenario normalizes sc and returns its cached or
+// freshly compiled plan.
+func (e *Engine) planForScenario(sc Scenario) (*attackPlan, error) {
+	norm, err := sc.normalize(0)
 	if err != nil {
 		return nil, err
 	}
+	return e.plan(norm)
+}
+
+// plan returns the compiled plan for a normalized scenario, applying
+// its countermeasure policy to the catalog first.
+func (e *Engine) plan(sc Scenario) (*attackPlan, error) {
+	key := planKey{policy: sc.Policy, platform: sc.Platform}
+	if key.policy == "" {
+		key.policy = "none"
+	}
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if p, ok := e.plans[key]; ok {
+		return p, nil
+	}
+	pol, err := countermeasure.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := pol.Apply(e.cfg.Population.Catalog())
+	if err != nil {
+		return nil, fmt.Errorf("campaign: apply policy %s: %w", pol.Name, err)
+	}
+	p, err := buildPlan(cat, sc.platforms())
+	if err != nil {
+		return nil, err
+	}
+	e.plans[key] = p
+	return p, nil
+}
+
+// rig hands out a pooled sniffer rig for the given radio signature,
+// building one when the pool is dry or the signature changed (a new
+// radio environment means re-tuned receivers). Rigs only ever serve
+// one worker at a time.
+func (e *Engine) rig(net *telecom.Network, sig string) *sniffer.Sniffer {
+	e.rigMu.Lock()
+	if e.rigSig != sig {
+		e.rigFree = nil
+		e.rigSig = sig
+	}
+	if n := len(e.rigFree); n > 0 {
+		r := e.rigFree[n-1]
+		e.rigFree = e.rigFree[:n-1]
+		e.rigMu.Unlock()
+		return r
+	}
+	e.rigMu.Unlock()
+	e.rigsBuilt.Add(1)
+	return sniffer.New(net, sniffer.Config{Cracker: e.cracker})
+}
+
+// releaseRig resets a rig and returns it to the pool, unless the radio
+// environment moved on while the worker held it.
+func (e *Engine) releaseRig(r *sniffer.Sniffer, sig string) {
+	r.Reset()
+	e.rigMu.Lock()
+	if e.rigSig == sig {
+		e.rigFree = append(e.rigFree, r)
+	}
+	e.rigMu.Unlock()
+}
+
+// Run executes the engine's default scenario.
+func (e *Engine) Run(ctx context.Context) (*Summary, error) {
+	return e.RunScenario(ctx, e.cfg.Scenario)
+}
+
+// RunScenario executes one scenario: harvest the leak databases, then
+// attack every shard through the worker pool, streaming partial
+// summaries into one aggregate. The returned Summary is deterministic
+// for a fixed config apart from Duration/VictimsPerSec.
+func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error) {
+	start := time.Now()
+	norm, err := sc.normalize(0)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.plan(norm)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.newRuntime(norm)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := e.attack(ctx, rt, plan)
+	if err != nil {
+		return nil, err
+	}
+	sum.Scenario = norm.Name
+	sum.Policy = norm.Policy
 	sum.LeakRecords = int64(e.leaks.Len())
 	sum.Backend = e.cracker.Name()
 	sum.Workers = e.cfg.Workers
@@ -181,9 +284,79 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 	return sum, nil
 }
 
+// runtimeScenario is a normalized scenario with its draw helpers
+// precomputed: the cell mix, the budget arithmetic, and the victim
+// segment compiled to a service bitset.
+type runtimeScenario struct {
+	sc         Scenario
+	mix        telecom.CellMix
+	receivers  uint64
+	channels   uint64
+	sessions   int
+	reauthSkip float64
+	sig        string
+	// domainMask is nil for "everyone", else the catalog services of
+	// the segment's domain as a bitset matching Subscriber.Enrolled.
+	domainMask population.ServiceSet
+}
+
+// newRuntime compiles a normalized scenario's runtime view.
+func (e *Engine) newRuntime(sc Scenario) (*runtimeScenario, error) {
+	rt := &runtimeScenario{
+		sc:         sc,
+		mix:        sc.Radio.cellMix(),
+		receivers:  uint64(sc.Budget.Receivers),
+		channels:   uint64(sc.Budget.CellChannels),
+		sessions:   sc.Radio.OTPSessions,
+		reauthSkip: sc.Radio.ReauthSkip,
+		sig:        sc.Radio.sig(),
+	}
+	if sc.Segment.Domain != "" {
+		dom, err := domainByName(sc.Segment.Domain)
+		if err != nil {
+			return nil, err
+		}
+		cat := e.cfg.Population.Catalog()
+		rt.domainMask = make(population.ServiceSet, (cat.Len()+63)/64)
+		for i, svc := range cat.Services() {
+			if svc.Domain == dom {
+				rt.domainMask[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	return rt, nil
+}
+
+// targets reports whether the scenario's victim segment includes sub.
+func (rt *runtimeScenario) targets(sub *population.Subscriber) bool {
+	if rt.domainMask != nil {
+		hit := false
+		for w := range rt.domainMask {
+			if w < len(sub.Enrolled) && sub.Enrolled[w]&rt.domainMask[w] != 0 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	switch rt.sc.Segment.LeakTier {
+	case LeakTierLeaked:
+		return sub.Leaked
+	case LeakTierClean:
+		return !sub.Leaked
+	case LeakTierBreach:
+		return sub.Leaked && sub.Record.Source == "2016-breach"
+	case LeakTierWiFi:
+		return sub.Leaked && sub.Record.Source == "phishing-wifi"
+	}
+	return true
+}
+
 // attack streams every shard through the worker pool and aggregates
 // the partial summaries.
-func (e *Engine) attack(ctx context.Context) (*Summary, error) {
+func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPlan) (*Summary, error) {
 	pop := e.cfg.Population
 	numServices := len(pop.Services())
 	shards := make(chan int)
@@ -194,17 +367,16 @@ func (e *Engine) attack(ctx context.Context) (*Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scr := newScratch(e.plan)
+			scr := newScratch(plan)
 			// A shell network per worker: the rig only needs the key
 			// space; no cells, no subscribers, no global lock shared
 			// with other workers.
 			net := telecom.NewNetwork(telecom.Config{
-				KeySpace:  e.space,
-				FrameWrap: a51.DefaultTableFrames,
-				Seed:      pop.Seed(),
+				KeySpace: e.space,
+				Seed:     pop.Seed(),
 			})
 			for i := range shards {
-				part := e.attackShard(pop.Shard(i), net, scr)
+				part := e.attackShard(pop.Shard(i), net, scr, rt, plan)
 				select {
 				case parts <- part:
 				case <-ctx.Done():
@@ -251,11 +423,15 @@ func feedShards(ctx context.Context, ch chan<- int, n int) error {
 // otpTimestamp keeps synthesized TPDUs deterministic.
 var otpTimestamp = time.Date(2021, 4, 19, 12, 0, 0, 0, time.UTC)
 
-// attackShard runs one batch end to end: synthesize every victim's
-// OTP radio sessions, feed them to a fresh sniffer rig backed by the
-// shared cracker, then evaluate the chain reaction for each
-// intercepted victim against the compiled plan.
-func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch) *Summary {
+// baseARFCN is the first channel of the synthesized campaign cell;
+// victims spread across [baseARFCN, baseARFCN+CellChannels).
+const baseARFCN = 512
+
+// attackShard runs one batch end to end: synthesize every targeted
+// victim's OTP radio sessions, feed them to a pooled sniffer rig
+// backed by the shared cracker, then evaluate the chain reaction for
+// each intercepted victim against the scenario's compiled plan.
+func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
 	part := newSummary(len(e.cfg.Population.Services()))
 	part.Subscribers = int64(len(sh.Subscribers))
 
@@ -263,38 +439,54 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	// attacker database (§V.A.1's "existing illegal databases"). A
 	// victim's dossier lives in their own shard, so merging here keeps
 	// lookups correct while every other worker's merges and lookups
-	// hit the same sharded store concurrently.
-	e.leaks.Merge(sh.Leaks)
+	// hit the same sharded store concurrently. The leak DB is a
+	// population fact, not a scenario artifact, so each shard merges
+	// exactly once per engine and later sweep scenarios skip the
+	// rewrite.
+	if e.harvested[sh.Index].CompareAndSwap(false, true) {
+		e.leaks.Merge(sh.Leaks)
+	}
 
-	rig := sniffer.New(net, sniffer.Config{Cracker: e.cracker})
+	rig := e.rig(net, rt.sig)
+	defer e.releaseRig(rig, rt.sig)
 	seed := uint64(e.cfg.Population.Seed())
-	sessions := e.cfg.OTPSessions
+	sessions := rt.sessions
 	covered := make([]bool, len(sh.Subscribers))
 	frame := uint32(0)
 
 	// Radio phase: batched sniffer sessions over the whole shard.
 	for li := range sh.Subscribers {
 		sub := &sh.Subscribers[li]
+		if !rt.targets(sub) {
+			continue // outside the scenario's victim segment
+		}
+		part.Targeted++
 		idx := uint64(sub.Index)
-		if population.Unit(population.Mix(seed, population.TagCoverage, idx)) >= e.cfg.Coverage {
-			continue // victim's cell outside the rig's channel fleet
+		// The victim's serving channel: covered only when one of the
+		// fleet's receivers camps on it.
+		channel := population.Mix(seed, population.TagCoverage, idx) % rt.channels
+		if channel >= rt.receivers {
+			continue // victim's channel outside the rig's fleet
 		}
 		covered[li] = true
 		part.Covered++
-		a50 := population.Unit(population.Mix(seed, population.TagCipher, idx)) < e.cfg.A50Fraction
+		mode := rt.mix.Mode(population.Unit(population.Mix(seed, population.TagCipher, idx)))
 		epoch := uint64(0)
 		for s := 0; s < sessions; s++ {
-			if s > 0 && population.Unit(population.Mix(seed, population.TagReauth, idx, uint64(s))) >= e.cfg.ReauthSkip {
+			if s > 0 && population.Unit(population.Mix(seed, population.TagReauth, idx, uint64(s))) >= rt.reauthSkip {
 				epoch++ // operator re-authenticated: fresh RAND, fresh Kc
 			}
 			rnd := rand16(population.Mix(seed, population.TagRAND, idx, epoch))
+			// Schedule the session's paging burst on the next CCCH
+			// paging block, as the live network does, so the table
+			// backend's frame classes cover it.
+			start := telecom.NextPagingStart(frame)
 			bursts, err := telecom.EncodeSMSBursts(telecom.SMSSession{
-				ARFCN:      512,
+				ARFCN:      baseARFCN + int(channel),
 				CellID:     "campaign-cell",
 				SessionID:  uint32(li*sessions + s),
-				StartFrame: frame,
-				FrameWrap:  a51.DefaultTableFrames,
-				Encrypted:  !a50,
+				StartFrame: start,
+				Cipher:     mode,
 				Kc:         telecom.SessionKey(e.cfg.Population.Seed(), sub.IMSI, rnd, e.space),
 				IMSI:       sub.IMSI,
 				RAND:       rnd,
@@ -307,13 +499,16 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 			if err != nil {
 				continue // unencodable synthetic TPDU: count nothing
 			}
-			frame += uint32(len(bursts))
+			frame = start + uint32(len(bursts))
 			for _, b := range bursts {
 				rig.Feed(b)
 			}
 			part.Sessions++
-			if a50 {
+			switch mode {
+			case telecom.CipherA50:
 				part.A50Sessions++
+			case telecom.CipherA53:
+				part.A53Sessions++
 			}
 		}
 	}
@@ -332,13 +527,13 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		}
 		sub := &sh.Subscribers[li]
 		part.Intercepted++
-		know := e.plan.baseline
+		know := plan.baseline
 		if rec, err := e.leaks.Lookup(sub.Persona.Phone); err == nil {
 			part.DossierHits++
 			know |= leakFactorMask(rec)
 		}
-		e.plan.chainDepths(scr, sub.Enrolled, know)
-		e.accumulate(scr, part)
+		plan.chainDepths(scr, sub.Enrolled, know)
+		accumulate(plan, scr, part)
 		scr.reset()
 	}
 	return part
@@ -346,7 +541,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 
 // accumulate folds one victim's chain-reaction outcome into the
 // partial summary.
-func (e *Engine) accumulate(scr *scratch, part *Summary) {
+func accumulate(plan *attackPlan, scr *scratch, part *Summary) {
 	taken := int64(0)
 	maxDepth := 0
 	var fields uint32
@@ -363,8 +558,8 @@ func (e *Engine) accumulate(scr *scratch, part *Summary) {
 			maxDepth = d
 		}
 		part.AccountsByDepth[d]++
-		part.ServiceTakeovers[e.plan.svcIdx[a]]++
-		fields |= e.plan.exposes[a]
+		part.ServiceTakeovers[plan.svcIdx[a]]++
+		fields |= plan.exposes[a]
 	}
 	if taken == 0 {
 		part.HarvestHist[0]++

@@ -6,7 +6,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/population"
 )
 
@@ -126,7 +125,10 @@ func TestCampaignCoverageAndCipherKnobs(t *testing.T) {
 	pop := testPop(t, 1200, 256)
 	sum := runCampaign(t, Config{
 		Population: pop, KeyBits: 10, Workers: 2,
-		Coverage: 0.5, A50Fraction: -1, ReauthSkip: -1, OTPSessions: 1,
+		Scenario: Scenario{
+			Radio:  RadioEnv{A50Fraction: -1, ReauthSkip: -1, OTPSessions: 1},
+			Budget: AttackerBudget{Receivers: 8, CellChannels: 16},
+		},
 	})
 	if sum.Covered == 0 || sum.Covered == sum.Subscribers {
 		t.Errorf("coverage 0.5 covered %d of %d", sum.Covered, sum.Subscribers)
@@ -148,7 +150,7 @@ func TestCampaignCoverageAndCipherKnobs(t *testing.T) {
 
 func TestCampaignPlatformRestriction(t *testing.T) {
 	pop := testPop(t, 800, 256)
-	web := runCampaign(t, Config{Population: pop, KeyBits: 10, Platforms: []ecosys.Platform{ecosys.PlatformWeb}})
+	web := runCampaign(t, Config{Population: pop, KeyBits: 10, Scenario: Scenario{Platform: "web"}})
 	both := runCampaign(t, Config{Population: pop, KeyBits: 10})
 	if web.AccountsCompromised == 0 {
 		t.Fatal("web-only campaign compromised nothing")
@@ -179,6 +181,17 @@ func TestCampaignValidation(t *testing.T) {
 	pop := testPop(t, 10, 10)
 	if _, err := New(Config{Population: pop, Backend: "nope"}); err == nil {
 		t.Error("unknown backend accepted")
+	}
+	for _, sc := range []Scenario{
+		{Policy: "nope"},
+		{Platform: "gopher"},
+		{Radio: RadioEnv{A50Fraction: 0.7, A53Fraction: 0.7}},
+		{Segment: VictimSegment{Domain: "astrology"}},
+		{Segment: VictimSegment{LeakTier: "vip"}},
+	} {
+		if _, err := New(Config{Population: pop, Backend: "bitsliced", Scenario: sc}); err == nil {
+			t.Errorf("invalid scenario %+v accepted", sc)
+		}
 	}
 }
 

@@ -23,9 +23,18 @@ const MaxDepth = 6
 // deterministic for a fixed config; Duration and VictimsPerSec are
 // the only wall-clock-dependent fields.
 type Summary struct {
+	// Scenario and Policy name the scenario the summary describes and
+	// the countermeasure policy it fortified the catalog with (empty
+	// for the baseline).
+	Scenario string
+	Policy   string
 	// Subscribers is the population size processed.
 	Subscribers int64
-	// Covered counts subscribers whose serving cell the rig overheard.
+	// Targeted counts subscribers inside the scenario's victim segment
+	// (equal to Subscribers when no segment is set).
+	Targeted int64
+	// Covered counts targeted subscribers whose serving channel one of
+	// the fleet's receivers camped on.
 	Covered int64
 	// Intercepted counts covered subscribers with at least one OTP
 	// session decoded (cracked or plaintext).
@@ -34,10 +43,12 @@ type Summary struct {
 	LeakRecords int64
 	// DossierHits counts intercepted victims with a leak-DB record.
 	DossierHits int64
-	// Sessions and A50Sessions count sniffed OTP transmissions and
-	// the subset on unencrypted (A5/0) cells.
+	// Sessions counts sniffed OTP transmissions; A50Sessions the
+	// subset on unencrypted (A5/0) cells and A53Sessions the subset on
+	// A5/3-upgraded cells the rig cannot crack.
 	Sessions    int64
 	A50Sessions int64
+	A53Sessions int64
 
 	// VictimsCompromised counts victims losing at least one account.
 	VictimsCompromised int64
@@ -82,12 +93,14 @@ func newSummary(numServices int) *Summary {
 // Merge accumulates a partial summary.
 func (s *Summary) Merge(o *Summary) {
 	s.Subscribers += o.Subscribers
+	s.Targeted += o.Targeted
 	s.Covered += o.Covered
 	s.Intercepted += o.Intercepted
 	s.LeakRecords += o.LeakRecords
 	s.DossierHits += o.DossierHits
 	s.Sessions += o.Sessions
 	s.A50Sessions += o.A50Sessions
+	s.A53Sessions += o.A53Sessions
 	s.VictimsCompromised += o.VictimsCompromised
 	s.AccountsCompromised += o.AccountsCompromised
 	for i := range s.AccountsByDepth {
@@ -121,19 +134,31 @@ func pct(n, total int64) float64 {
 func (s *Summary) Render(services []string, top int) string {
 	var b strings.Builder
 
+	title := "Campaign summary — chain-reaction attack across the subscriber population"
+	if s.Scenario != "" {
+		title = fmt.Sprintf("Campaign summary — scenario %q", s.Scenario)
+	}
 	h := &report.Table{
-		Title:   "Campaign summary — chain-reaction attack across the subscriber population",
+		Title:   title,
 		Headers: []string{"metric", "value"},
 	}
+	if s.Policy != "" {
+		h.AddRow("countermeasure policy", s.Policy)
+	}
 	h.AddRow("subscribers", comma(s.Subscribers))
-	h.AddRow("covered by rig", fmt.Sprintf("%s (%s)", comma(s.Covered), report.Pct(pct(s.Covered, s.Subscribers))))
-	h.AddRow("OTP intercepted", fmt.Sprintf("%s (%s)", comma(s.Intercepted), report.Pct(pct(s.Intercepted, s.Subscribers))))
+	if s.Targeted != s.Subscribers {
+		h.AddRow("targeted segment", fmt.Sprintf("%s (%s)", comma(s.Targeted), report.Pct(pct(s.Targeted, s.Subscribers))))
+	}
+	h.AddRow("covered by rig", fmt.Sprintf("%s (%s)", comma(s.Covered), report.Pct(pct(s.Covered, s.Targeted))))
+	h.AddRow("OTP intercepted", fmt.Sprintf("%s (%s)", comma(s.Intercepted), report.Pct(pct(s.Intercepted, s.Targeted))))
 	h.AddRow("leak DB records", comma(s.LeakRecords))
 	h.AddRow("victims with dossier", fmt.Sprintf("%s (%s)", comma(s.DossierHits), report.Pct(pct(s.DossierHits, s.Intercepted))))
 	h.AddRow("victims compromised", fmt.Sprintf("%s (%s)", comma(s.VictimsCompromised), report.Pct(pct(s.VictimsCompromised, s.Subscribers))))
 	h.AddRow("accounts taken over", comma(s.AccountsCompromised))
-	h.AddRow("OTP sessions sniffed", fmt.Sprintf("%s (%s on A5/0)", comma(s.Sessions), report.Pct(pct(s.A50Sessions, s.Sessions))))
-	h.AddRow("A5/1 cracks", fmt.Sprintf("%d attempted, %d succeeded", s.Sniffer.CracksAttempted, s.Sniffer.CracksSucceeded))
+	h.AddRow("OTP sessions sniffed", fmt.Sprintf("%s (%s on A5/0, %s on A5/3)",
+		comma(s.Sessions), report.Pct(pct(s.A50Sessions, s.Sessions)), report.Pct(pct(s.A53Sessions, s.Sessions))))
+	h.AddRow("A5/1 cracks", fmt.Sprintf("%d attempted, %d succeeded, %d A5/3 sessions abandoned",
+		s.Sniffer.CracksAttempted, s.Sniffer.CracksSucceeded, s.Sniffer.A53Abandoned))
 	h.AddRow("Kc reuse cache", fmt.Sprintf("%d hits, %d misses", s.Sniffer.KcReuseHits, s.Sniffer.KcReuseMisses))
 	h.AddRow("cracker backend", s.Backend)
 	h.AddRow("workers", strconv.Itoa(s.Workers))

@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/actfort/actfort/internal/report"
+)
+
+// ScenarioResult pairs a scenario with its summary.
+type ScenarioResult struct {
+	Scenario Scenario `json:"scenario"`
+	Summary  *Summary `json:"summary"`
+}
+
+// SweepSummary is the comparative output of RunSweep: one result per
+// scenario over the same population, plus the shared-resource
+// identifiers. The first scenario is the comparison baseline.
+type SweepSummary struct {
+	// Subscribers is the shared population size.
+	Subscribers int64 `json:"subscribers"`
+	// Backend names the one cracker every scenario shared; Workers the
+	// pool width; RigsBuilt how many sniffer rigs were constructed in
+	// total (rig reuse keeps it near the worker count).
+	Backend   string `json:"backend"`
+	Workers   int    `json:"workers"`
+	RigsBuilt int64  `json:"rigsBuilt"`
+	// Results holds one entry per scenario, in execution order.
+	Results []ScenarioResult `json:"results"`
+	// Duration is the whole sweep's wall clock.
+	Duration time.Duration `json:"duration"`
+}
+
+// Baseline returns the first scenario's summary (nil for an empty
+// sweep).
+func (s *SweepSummary) Baseline() *Summary {
+	if len(s.Results) == 0 {
+		return nil
+	}
+	return s.Results[0].Summary
+}
+
+// RunSweep executes the scenarios in order against the engine's shared
+// population, cracker table and rig pool, and returns the comparative
+// summary. A nil or empty list runs DefaultSweep. Scenario names must
+// be unique — the comparative tables key on them.
+func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSummary, error) {
+	if len(scenarios) == 0 {
+		scenarios = DefaultSweep()
+	}
+	seen := make(map[string]bool, len(scenarios))
+	norm := make([]Scenario, len(scenarios))
+	for i, sc := range scenarios {
+		n, err := sc.normalize(i)
+		if err != nil {
+			return nil, err
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("campaign: duplicate scenario name %q in sweep", n.Name)
+		}
+		seen[n.Name] = true
+		norm[i] = n
+	}
+	start := time.Now()
+	sw := &SweepSummary{
+		Subscribers: int64(e.cfg.Population.Size()),
+		Backend:     e.cracker.Name(),
+		Workers:     e.cfg.Workers,
+		Results:     make([]ScenarioResult, 0, len(norm)),
+	}
+	for _, sc := range norm {
+		sum, err := e.RunScenario(ctx, sc)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %s: %w", sc.Name, err)
+		}
+		sw.Results = append(sw.Results, ScenarioResult{Scenario: sc, Summary: sum})
+	}
+	sw.RigsBuilt = e.RigsBuilt()
+	sw.Duration = time.Since(start)
+	return sw, nil
+}
+
+// delta renders a fortified count against its baseline as
+// "-1,234 (-56.78%)".
+func delta(base, val int64) string {
+	d := val - base
+	sign := "+"
+	if d < 0 {
+		sign = "" // comma keeps the minus
+	}
+	if base == 0 {
+		return fmt.Sprintf("%s%s", sign, comma(d))
+	}
+	return fmt.Sprintf("%s%s (%+.2f%%)", sign, comma(d), 100*float64(d)/float64(base))
+}
+
+// Render writes the comparative report: the sweep header, the
+// per-scenario takeover-mass table with deltas against the baseline
+// (the first scenario), and the per-service takeover deltas for the
+// top baseline services — the fortification-evaluation view of the
+// paper's second half.
+func (s *SweepSummary) Render(services []string, top int) string {
+	if len(s.Results) == 0 {
+		return "sweep: no scenarios\n"
+	}
+	base := s.Baseline()
+	out := &report.Table{
+		Title:   "Fortification sweep — shared population, shared cracker table",
+		Headers: []string{"metric", "value"},
+	}
+	out.AddRow("subscribers", comma(s.Subscribers))
+	out.AddRow("scenarios", strconv.Itoa(len(s.Results)))
+	out.AddRow("cracker backend", s.Backend)
+	out.AddRow("workers", strconv.Itoa(s.Workers))
+	out.AddRow("sniffer rigs built", strconv.FormatInt(s.RigsBuilt, 10))
+	if s.Duration > 0 {
+		out.AddRow("duration", s.Duration.Round(time.Millisecond).String())
+	}
+	text := out.String() + "\n"
+
+	cmp := &report.Table{
+		Title: fmt.Sprintf("Takeover mass by scenario (baseline: %q)", base.Scenario),
+		Headers: []string{"scenario", "policy", "targeted", "intercepted",
+			"victims lost", "accounts lost", "Δ accounts vs baseline"},
+	}
+	for i, r := range s.Results {
+		sum := r.Summary
+		pol := sum.Policy
+		if pol == "" {
+			pol = "none"
+		}
+		d := "baseline"
+		if i > 0 {
+			d = delta(base.AccountsCompromised, sum.AccountsCompromised)
+		}
+		cmp.AddRow(sum.Scenario, pol, comma(sum.Targeted), comma(sum.Intercepted),
+			fmt.Sprintf("%s (%s)", comma(sum.VictimsCompromised), report.Pct(pct(sum.VictimsCompromised, sum.Subscribers))),
+			comma(sum.AccountsCompromised), d)
+	}
+	text += cmp.String() + "\n"
+	text += s.serviceDeltas(services, top).String()
+	return text
+}
+
+// serviceDeltas ranks the baseline's top services by takeovers and
+// shows every scenario's count next to them — the per-service view of
+// what each fortification program actually protected.
+func (s *SweepSummary) serviceDeltas(services []string, top int) *report.Table {
+	if top <= 0 {
+		top = 15
+	}
+	base := s.Baseline()
+	type row struct {
+		idx   int
+		count int64
+	}
+	rows := make([]row, 0, len(base.ServiceTakeovers))
+	for i, c := range base.ServiceTakeovers {
+		if c > 0 {
+			rows = append(rows, row{idx: i, count: c})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return serviceName(services, rows[i].idx) < serviceName(services, rows[j].idx)
+	})
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	headers := []string{"service"}
+	for _, r := range s.Results {
+		headers = append(headers, r.Summary.Scenario)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Per-service takeovers — top %d baseline services across scenarios", len(rows)),
+		Headers: headers,
+	}
+	for _, r := range rows {
+		cells := []string{serviceName(services, r.idx)}
+		for i, res := range s.Results {
+			c := int64(0)
+			if r.idx < len(res.Summary.ServiceTakeovers) {
+				c = res.Summary.ServiceTakeovers[r.idx]
+			}
+			cell := comma(c)
+			if i > 0 && r.count > 0 {
+				cell += fmt.Sprintf(" (%+.1f%%)", 100*float64(c-r.count)/float64(r.count))
+			}
+			cells = append(cells, cell)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// serviceName resolves a catalog index to its display name.
+func serviceName(services []string, i int) string {
+	if i < len(services) {
+		return services[i]
+	}
+	return fmt.Sprintf("service-%d", i)
+}

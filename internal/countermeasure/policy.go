@@ -10,30 +10,11 @@ import (
 // The three §VII.A policies. Each rewriter returns a NEW catalog; the
 // input is never mutated, so before/after comparisons stay valid.
 
-// cloneSpecs deep-copies every service specification.
+// cloneSpecs deep-copies every service specification (the shared
+// ecosys implementation; kept as a local name so every rewriter below
+// reads uniformly).
 func cloneSpecs(cat *ecosys.Catalog) []*ecosys.ServiceSpec {
-	out := make([]*ecosys.ServiceSpec, 0, cat.Len())
-	for _, svc := range cat.Services() {
-		cp := &ecosys.ServiceSpec{Name: svc.Name, Domain: svc.Domain}
-		for _, pr := range svc.Presences {
-			npr := ecosys.Presence{
-				Platform:      pr.Platform,
-				SignupMethods: append([]ecosys.SignupMethod(nil), pr.SignupMethods...),
-				Exposes:       append([]ecosys.Exposure(nil), pr.Exposes...),
-				BoundTo:       append([]string(nil), pr.BoundTo...),
-				EmailProvider: pr.EmailProvider,
-			}
-			for _, p := range pr.Paths {
-				npr.Paths = append(npr.Paths, ecosys.AuthPath{
-					ID: p.ID, Purpose: p.Purpose,
-					Factors: append([]ecosys.FactorKind(nil), p.Factors...),
-				})
-			}
-			cp.Presences = append(cp.Presences, npr)
-		}
-		out = append(out, cp)
-	}
-	return out
+	return cat.CloneSpecs()
 }
 
 // ApplyUnifiedMasking rewrites every citizen-ID and bankcard exposure

@@ -1,0 +1,84 @@
+package countermeasure
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/mask"
+)
+
+// Policy is a named catalog transform: the declarative form of one
+// fortification program. Campaign scenarios reference policies by name
+// so a sweep definition ("baseline" vs "fortify-all") is plain data,
+// and Apply produces the fortified catalog the attack plan compiles
+// against. Apply never mutates its input.
+type Policy struct {
+	// Name is the registry key scenarios reference.
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Apply rewrites a catalog under the policy.
+	Apply func(*ecosys.Catalog) (*ecosys.Catalog, error)
+}
+
+// policies is the built-in registry, keyed by name.
+var policies = map[string]Policy{
+	"none": {
+		Name:        "none",
+		Description: "identity transform: the unfortified baseline catalog",
+		Apply:       func(cat *ecosys.Catalog) (*ecosys.Catalog, error) { return cat, nil },
+	},
+	"unified-masking": {
+		Name:        "unified-masking",
+		Description: "mask citizen-ID and bankcard digits to one unified standard (§VII.A.1)",
+		Apply: func(cat *ecosys.Catalog) (*ecosys.Catalog, error) {
+			return ApplyUnifiedMasking(cat, mask.DefaultUnifiedStandard())
+		},
+	},
+	"harden-email": {
+		Name:        "harden-email",
+		Description: "add built-in push confirmation to SMS-only email takeover paths (§VII.A.2)",
+		Apply:       HardenEmailProviders,
+	},
+	"builtin-auth": {
+		Name:        "builtin-auth",
+		Description: "replace SMS codes with the built-in push factor everywhere (Fig 8)",
+		Apply: func(cat *ecosys.Catalog) (*ecosys.Catalog, error) {
+			return AdoptBuiltinAuth(cat)
+		},
+	},
+	"fortify-all": {
+		Name:        "fortify-all",
+		Description: "the full §VII.A program: unified masking + hardened email + built-in auth",
+		Apply:       FortifyAll,
+	},
+}
+
+// PolicyByName resolves a policy. The empty name is the baseline
+// ("none"); unknown names error with the known set listed.
+func PolicyByName(name string) (Policy, error) {
+	if name == "" {
+		name = "none"
+	}
+	p, ok := policies[name]
+	if !ok {
+		names := make([]string, 0, len(policies))
+		for n := range policies {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Policy{}, fmt.Errorf("countermeasure: unknown policy %q (have %v)", name, names)
+	}
+	return p, nil
+}
+
+// Policies lists the registry in stable (name) order.
+func Policies() []Policy {
+	out := make([]Policy, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

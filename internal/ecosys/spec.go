@@ -419,6 +419,47 @@ func NewCatalog(specs []*ServiceSpec) (*Catalog, error) {
 	return c, nil
 }
 
+// CloneSpecs deep-copies every service specification of the catalog,
+// preserving order. Countermeasure policies patch the copies and
+// rebuild a catalog, so before/after comparisons never share state.
+func (c *Catalog) CloneSpecs() []*ServiceSpec {
+	out := make([]*ServiceSpec, 0, len(c.services))
+	for _, svc := range c.services {
+		cp := &ServiceSpec{Name: svc.Name, Domain: svc.Domain}
+		for _, pr := range svc.Presences {
+			npr := Presence{
+				Platform:      pr.Platform,
+				SignupMethods: append([]SignupMethod(nil), pr.SignupMethods...),
+				Exposes:       append([]Exposure(nil), pr.Exposes...),
+				BoundTo:       append([]string(nil), pr.BoundTo...),
+				EmailProvider: pr.EmailProvider,
+			}
+			for _, p := range pr.Paths {
+				npr.Paths = append(npr.Paths, AuthPath{
+					ID: p.ID, Purpose: p.Purpose,
+					Factors: append([]FactorKind(nil), p.Factors...),
+				})
+			}
+			cp.Presences = append(cp.Presences, npr)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Clone deep-copies the whole catalog. Service order — and hence every
+// index-keyed structure derived from it (population enrollment bitsets,
+// campaign plan tables) — is preserved, so a patched clone stays
+// comparable position-by-position with its original.
+func (c *Catalog) Clone() *Catalog {
+	clone, err := NewCatalog(c.CloneSpecs())
+	if err != nil {
+		// The specs came from a valid catalog; rebuild cannot fail.
+		panic(err)
+	}
+	return clone
+}
+
 // MustCatalog is NewCatalog that panics on error; for use with
 // compile-time-constant datasets.
 func MustCatalog(specs []*ServiceSpec) *Catalog {

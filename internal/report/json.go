@@ -1,0 +1,30 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON renders a summary value (campaign.Summary, campaign.SweepSummary,
+// or any other exported-field struct) as indented JSON with a trailing
+// newline. encoding/json emits struct fields in declaration order, so
+// the output is byte-stable for equal inputs — benchmarks and CI diff
+// runs mechanically instead of scraping the rendered tables.
+func JSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: encode JSON: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON encodes v with JSON and writes it to w.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := JSON(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

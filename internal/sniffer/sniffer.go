@@ -65,7 +65,12 @@ type Stats struct {
 	// both to quantify the Kc-reuse weakness at population scale.
 	KcReuseHits   int
 	KcReuseMisses int
-	FilteredOut   int
+	// A53Abandoned counts complete sessions the rig gave up on because
+	// the ciphering mode announced A5/3: the cipher upgrade defeats
+	// every A5/1 backend, so no search effort is spent. Fortification
+	// sweeps read this as the radio-hardening win.
+	A53Abandoned int
+	FilteredOut  int
 }
 
 // Add accumulates other into s — the merge used when per-shard rigs
@@ -79,6 +84,7 @@ func (s *Stats) Add(other Stats) {
 	s.CrackCacheHits += other.CrackCacheHits
 	s.KcReuseHits += other.KcReuseHits
 	s.KcReuseMisses += other.KcReuseMisses
+	s.A53Abandoned += other.A53Abandoned
 	s.FilteredOut += other.FilteredOut
 }
 
@@ -247,6 +253,14 @@ func (s *Sniffer) processSession(sess *session) {
 	if !ok {
 		return // lost the paging burst: no known plaintext, no crack
 	}
+	if paging.Cipher == telecom.CipherA53 {
+		// The ciphering mode travels in the clear; A5/3 is beyond every
+		// backend, so the rig abandons the session without searching.
+		s.mu.Lock()
+		s.stats.A53Abandoned++
+		s.mu.Unlock()
+		return
+	}
 
 	var (
 		kc        uint64
@@ -345,6 +359,22 @@ func (s *Sniffer) processSession(sess *session) {
 		return
 	}
 	s.captures = append(s.captures, capt)
+}
+
+// Reset returns the rig to its just-built state — in-flight session
+// buffers, captures, counters and both Kc caches are dropped; tuned
+// receivers and the cracker backend are kept. Campaign sweeps reuse
+// per-worker rigs across scenarios through it instead of rebuilding
+// them, resetting between scenarios so no cracked key leaks from one
+// radio environment into the next.
+func (s *Sniffer) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = make(map[uint32]*session)
+	s.captures = nil
+	s.stats = Stats{}
+	s.kcCache = make(map[uint32]uint64)
+	s.subKc = make(map[subKcKey]uint64)
 }
 
 // Captures returns a copy of recorded (filter-matching) messages.

@@ -264,14 +264,14 @@ func BenchmarkSniffAndCrack10Bit(b *testing.B) {
 }
 
 // TestSniffWithTableBackend runs the full capture path with the
-// Kraken-style TMTO backend: the network wraps cipher frames into the
-// table's precomputed window and every session resolves by lookup.
+// Kraken-style TMTO backend: the network schedules paging bursts on
+// CCCH frame classes and the table precomputed over PagingFrames()
+// resolves every session by lookup.
 func TestSniffWithTableBackend(t *testing.T) {
 	space := a51.KeySpace{Base: 0xC118000000000000, Bits: 10}
 	n := telecom.NewNetwork(telecom.Config{
-		KeySpace:  space,
-		FrameWrap: a51.DefaultTableFrames,
-		Seed:      11,
+		KeySpace: space,
+		Seed:     11,
 	})
 	cell, err := n.AddCell(telecom.Cell{ID: "cell-1", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
 	if err != nil {
@@ -288,7 +288,7 @@ func TestSniffWithTableBackend(t *testing.T) {
 	if err := term.Attach(cell); err != nil {
 		t.Fatal(err)
 	}
-	table, err := a51.BuildTable(space, a51.TableConfig{})
+	table, err := a51.BuildTable(space, a51.TableConfig{Frames: telecom.PagingFrames()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,5 +448,84 @@ func TestKcReuseCacheIneligible(t *testing.T) {
 	st := s.Stats()
 	if st.KcReuseHits != 0 || st.KcReuseMisses != 0 {
 		t.Fatalf("anonymized bursts touched the subscriber cache: %+v", st)
+	}
+}
+
+// TestA53SessionsAbandoned checks the rig recognizes the announced
+// A5/3 ciphering mode and abandons the session without burning search
+// effort or recording a capture.
+func TestA53SessionsAbandoned(t *testing.T) {
+	n := telecom.NewNetwork(telecom.Config{
+		KeySpace: a51.KeySpace{Base: 0xC118000000000000, Bits: 10},
+		Seed:     11,
+	})
+	cell, err := n.AddCell(telecom.Cell{ID: "c53", ARFCNs: []int{512}, Cipher: telecom.CipherA53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := n.Register("460000000000021", "+8613800000021")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := n.NewTerminal(sub, telecom.RATGSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Attach(cell); err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, Config{})
+	t.Cleanup(s.Stop)
+	if err := s.Tune(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+		t.Fatal(err)
+	}
+	if caps := s.Captures(); len(caps) != 0 {
+		t.Fatalf("A5/3 session captured: %+v", caps)
+	}
+	st := s.Stats()
+	if st.A53Abandoned != 1 || st.CracksAttempted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestReset checks the rig-reuse contract: Reset drops captures,
+// counters and both Kc caches while keeping tuned receivers, so a
+// reused rig behaves exactly like a fresh one.
+func TestReset(t *testing.T) {
+	n, sub, s := rig(t, Config{})
+	if err := s.Tune(512, 513, 514); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Captures()) == 0 {
+		t.Fatal("no captures before Reset")
+	}
+	s.Reset()
+	if len(s.Captures()) != 0 {
+		t.Fatal("captures survived Reset")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("stats survived Reset: %+v", st)
+	}
+	if got := s.Tuned(); len(got) != 3 {
+		t.Fatalf("tuned receivers dropped by Reset: %v", got)
+	}
+	// The rig must work — and re-crack — after Reset.
+	if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures()
+	if len(caps) != 1 || caps[0].Kc == 0 {
+		t.Fatalf("post-Reset capture = %+v", caps)
+	}
+	if st := s.Stats(); st.CracksAttempted == 0 {
+		t.Fatalf("post-Reset session did not re-crack: %+v", st)
 	}
 }

@@ -49,6 +49,10 @@ const (
 	CipherA50 CipherMode = iota + 1
 	// CipherA51 encrypts bursts with A5/1.
 	CipherA51
+	// CipherA53 encrypts bursts with A5/3 (KASUMI) — the ciphering
+	// upgrade fortification scenarios deploy; the rig's A5/1 crackers
+	// cannot recover its session keys.
+	CipherA53
 )
 
 // String names the mode.
@@ -58,9 +62,14 @@ func (m CipherMode) String() string {
 		return "A5/0"
 	case CipherA51:
 		return "A5/1"
+	case CipherA53:
+		return "A5/3"
 	}
 	return "cipher(?)"
 }
+
+// Encrypts reports whether the mode ciphers the air interface at all.
+func (m CipherMode) Encrypts() bool { return m == CipherA51 || m == CipherA53 }
 
 // Subscriber is a SIM identity in the operator's HLR.
 type Subscriber struct {
@@ -107,7 +116,12 @@ type RadioBurst struct {
 	Seq       int
 	Total     int
 	Encrypted bool
-	Payload   []byte
+	// Cipher is the mode the burst was transmitted under. Real GSM
+	// announces it in the clear (Ciphering Mode Command), so a passive
+	// sniffer knows whether a session is crackable A5/1 or opaque A5/3
+	// before spending any search effort.
+	Cipher  CipherMode
+	Payload []byte
 	// IMSI and RAND identify the authentication context the session
 	// was ciphered under. Real GSM exposes both in the clear (paging
 	// identities, the authentication-request RAND), so a passive
@@ -132,13 +146,11 @@ type Config struct {
 	// KeySpace constrains session keys so the sniffer's exhaustive
 	// crack terminates; see the package comment.
 	KeySpace a51.KeySpace
-	// FrameWrap, when positive, wraps the cipher frame counter modulo
-	// FrameWrap. The real GSM COUNT is a 22-bit value that wraps with
-	// the hyperframe; shrinking the wrap the same way KeySpace shrinks
-	// the key space lets a precomputed a51.Table cover every frame the
-	// network will ever encrypt under (a51.DefaultTableFrames is the
-	// matching window). Zero leaves the counter unwrapped.
-	FrameWrap int
+	// Cipher frames follow the GSM COUNT structure (Count22): each
+	// burst is keyed by its 51×26-multiframe position, and sessions
+	// are scheduled so the paging burst lands on a CCCH paging block.
+	// A table backend precomputed over PagingFrames() therefore covers
+	// every known-plaintext burst the network ever emits.
 	// ReauthEvery models operators that skip the authentication
 	// procedure on session setup: a fresh RAND challenge (and hence a
 	// fresh Kc) is run only every ReauthEvery-th GSM SMS session per
@@ -455,17 +467,19 @@ func (n *Network) SendSMS(fromOriginator, toMSISDN, text string) (transport stri
 	}
 
 	// GSM path: authenticate (or reuse the cipher context), chunk,
-	// encrypt per frame, emit on the air.
+	// encrypt per frame, emit on the air. The session is scheduled on
+	// the next CCCH paging block so its known-plaintext burst lands on
+	// a predictable frame class (see count.go).
 	ac := n.smsAuthLocked(sub)
 	sessionID := n.nextSession
 	n.nextSession++
+	start := NextPagingStart(n.frame)
 	bursts, err := EncodeSMSBursts(SMSSession{
 		ARFCN:      cell.ARFCNs[int(sessionID)%len(cell.ARFCNs)],
 		CellID:     cell.ID,
 		SessionID:  sessionID,
-		StartFrame: n.frame,
-		FrameWrap:  n.cfg.FrameWrap,
-		Encrypted:  cell.Cipher == CipherA51,
+		StartFrame: start,
+		Cipher:     cell.Cipher,
 		Kc:         ac.kc,
 		IMSI:       sub.IMSI,
 		RAND:       ac.rand,
@@ -475,7 +489,7 @@ func (n *Network) SendSMS(fromOriginator, toMSISDN, text string) (transport stri
 		n.mu.Unlock()
 		return "", err
 	}
-	n.frame += uint32(len(bursts))
+	n.frame = start + uint32(len(bursts))
 	mode := cell.Cipher
 	n.delivered["gsm:"+mode.String()]++
 	n.mu.Unlock()

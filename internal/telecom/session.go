@@ -18,15 +18,18 @@ type SMSSession struct {
 	ARFCN     int
 	CellID    string
 	SessionID uint32
-	// StartFrame is the cipher frame number of the paging burst;
-	// every following burst increments it. FrameWrap, when positive,
-	// wraps each emitted frame number modulo FrameWrap (see
-	// Config.FrameWrap).
+	// StartFrame is the absolute frame number of the paging burst;
+	// every following burst increments it. Each emitted burst carries
+	// the 22-bit COUNT value (Count22) of its frame — the 51×26
+	// multiframe schedule, not a flat counter. Callers wanting the
+	// paging burst on a predictable frame class (table-backend
+	// coverage) align StartFrame with NextPagingStart.
 	StartFrame uint32
-	FrameWrap  int
-	// Encrypted selects A5/1 protection under Kc.
-	Encrypted bool
-	Kc        uint64
+	// Cipher selects the over-the-air protection: CipherA50 (or zero)
+	// transmits plaintext, CipherA51 encrypts under Kc with A5/1,
+	// CipherA53 with the uncrackable A5/3 stand-in.
+	Cipher CipherMode
+	Kc     uint64
 	// IMSI and RAND identify the authentication context the session
 	// runs under. Both are visible on the air in real GSM — paging
 	// identities and the RAND of the authentication request travel in
@@ -41,7 +44,7 @@ type SMSSession struct {
 // EncodeSMSBursts chunks the session's TPDU into radio bursts: burst 0
 // is the predictable paging burst (the known-plaintext foothold), the
 // rest carry burstChunk-byte payload slices, each encrypted under its
-// own frame number when the session is A5/1-protected.
+// own COUNT frame value when the session is ciphered.
 func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
 	raw, err := s.Deliver.Marshal()
 	if err != nil {
@@ -55,15 +58,19 @@ func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
 		}
 		chunks = append(chunks, raw[off:end])
 	}
+	cipher := s.Cipher
+	if cipher == 0 {
+		cipher = CipherA50
+	}
 	bursts := make([]RadioBurst, 0, len(chunks))
 	for seq, chunk := range chunks {
-		frame := s.StartFrame + uint32(seq)
-		if s.FrameWrap > 0 {
-			frame %= uint32(s.FrameWrap)
-		}
+		frame := Count22(s.StartFrame + uint32(seq))
 		payload := append([]byte(nil), chunk...)
-		if s.Encrypted {
+		switch cipher {
+		case CipherA51:
 			payload = a51.EncryptBurst(s.Kc, frame, payload)
+		case CipherA53:
+			payload = EncryptBurstA53(s.Kc, frame, payload)
 		}
 		bursts = append(bursts, RadioBurst{
 			ARFCN:     s.ARFCN,
@@ -72,7 +79,8 @@ func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
 			SessionID: s.SessionID,
 			Seq:       seq,
 			Total:     len(chunks),
-			Encrypted: s.Encrypted,
+			Encrypted: cipher.Encrypts(),
+			Cipher:    cipher,
 			Payload:   payload,
 			IMSI:      s.IMSI,
 			RAND:      s.RAND,

@@ -620,8 +620,8 @@ func TestEncodeSMSBursts(t *testing.T) {
 	deliver := gsmcodec.Deliver{Originator: "Svc", Text: "code 845512"}
 	const kc = 0xC118000000000042
 	bursts, err := EncodeSMSBursts(SMSSession{
-		ARFCN: 512, CellID: "c", SessionID: 9, StartFrame: 49, FrameWrap: 51,
-		Encrypted: true, Kc: kc, IMSI: "460001234567890",
+		ARFCN: 512, CellID: "c", SessionID: 9, StartFrame: 49,
+		Cipher: CipherA51, Kc: kc, IMSI: "460001234567890",
 		Deliver: deliver,
 	})
 	if err != nil {
@@ -633,8 +633,10 @@ func TestEncodeSMSBursts(t *testing.T) {
 	if bursts[0].Seq != 0 || bursts[0].Total != len(bursts) {
 		t.Fatalf("paging burst = %+v", bursts[0])
 	}
-	if bursts[0].Frame != 49 || bursts[1].Frame != 50 || bursts[2].Frame != 0 {
-		t.Fatalf("frame wrap broken: %d %d %d", bursts[0].Frame, bursts[1].Frame, bursts[2].Frame)
+	for i, b := range bursts {
+		if want := Count22(49 + uint32(i)); b.Frame != want {
+			t.Fatalf("burst %d frame = %d want COUNT %d", i, b.Frame, want)
+		}
 	}
 	// Decrypt payload bursts and reassemble the TPDU.
 	var tpdu []byte
