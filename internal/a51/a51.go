@@ -98,26 +98,28 @@ func (c *Cipher) clockAll() {
 
 // clock advances registers by the majority rule: each register steps
 // only if its clocking tap agrees with the majority of the three taps.
+// The step decision is computed as a mask-select instead of branches:
+// the taps are effectively random bits, so branching here mispredicts
+// about half the time, and this is the single hottest function of every
+// scalar cipher path (table replays, live sniffing, burst decryption).
 func (c *Cipher) clock() {
-	b1 := (c.r1 & r1Mid) != 0
-	b2 := (c.r2 & r2Mid) != 0
-	b3 := (c.r3 & r3Mid) != 0
-	maj := (b1 && b2) || (b1 && b3) || (b2 && b3)
-	if b1 == maj {
-		c.r1 = clockOne(c.r1, r1Mask, r1Taps)
-	}
-	if b2 == maj {
-		c.r2 = clockOne(c.r2, r2Mask, r2Taps)
-	}
-	if b3 == maj {
-		c.r3 = clockOne(c.r3, r3Mask, r3Taps)
-	}
+	b1 := (c.r1 >> 8) & 1  // r1Mid
+	b2 := (c.r2 >> 10) & 1 // r2Mid
+	b3 := (c.r3 >> 10) & 1 // r3Mid
+	maj := b1&b2 | b1&b3 | b2&b3
+	m1 := -(b1 ^ maj ^ 1) // all-ones when the register steps
+	m2 := -(b2 ^ maj ^ 1)
+	m3 := -(b3 ^ maj ^ 1)
+	c.r1 = (c.r1 &^ m1) | (clockOne(c.r1, r1Mask, r1Taps) & m1)
+	c.r2 = (c.r2 &^ m2) | (clockOne(c.r2, r2Mask, r2Taps) & m2)
+	c.r3 = (c.r3 &^ m3) | (clockOne(c.r3, r3Mask, r3Taps) & m3)
 }
 
 // outBit returns the current output bit: XOR of the three registers'
-// top bits.
+// top bits (r1Out/r2Out/r3Out are single-bit masks, so plain shifts
+// beat three POPCNTs).
 func (c *Cipher) outBit() uint32 {
-	return parity(c.r1&r1Out) ^ parity(c.r2&r2Out) ^ parity(c.r3&r3Out)
+	return ((c.r1 >> 18) ^ (c.r2 >> 21) ^ (c.r3 >> 22)) & 1
 }
 
 // New initializes A5/1 for session key kc and the 22-bit frame number.

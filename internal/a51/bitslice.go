@@ -63,11 +63,11 @@ func (s *bsState) out() uint64 {
 	return s.r1[18] ^ s.r2[21] ^ s.r3[22]
 }
 
-// load initializes the lanes for up to 64 candidate keys and one frame
-// number, mirroring Cipher.init bit for bit: 64 regular clocks mixing
-// in per-lane key bits, 22 regular clocks mixing in the (broadcast)
-// frame bits, then 100 irregular clocks.
-func (s *bsState) load(keys []uint64, frame uint32) {
+// loadKeys zeroes the state and runs the 64 regular clocks mixing in
+// per-lane key bits — the first stage of Cipher.init mirrored bit for
+// bit, shared by the search path (load) and the encryptor (loadPairs)
+// so the key schedule lives in exactly one place.
+func (s *bsState) loadKeys(keys []uint64) {
 	*s = bsState{}
 	for i := 0; i < 64; i++ {
 		s.clockAll()
@@ -80,6 +80,14 @@ func (s *bsState) load(keys []uint64, frame uint32) {
 		s.r2[0] ^= plane
 		s.r3[0] ^= plane
 	}
+}
+
+// load initializes the lanes for up to 64 candidate keys and one frame
+// number, mirroring Cipher.init bit for bit: 64 regular clocks mixing
+// in per-lane key bits, 22 regular clocks mixing in the (broadcast)
+// frame bits, then 100 irregular clocks.
+func (s *bsState) load(keys []uint64, frame uint32) {
+	s.loadKeys(keys)
 	for i := 0; i < 22; i++ {
 		s.clockAll()
 		plane := -uint64(frame >> uint(i) & 1) // 0 or all-ones: same bit in every lane

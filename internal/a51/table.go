@@ -329,15 +329,22 @@ func (t *Table) Recover(ctx context.Context, keystream []byte, frame uint32, spa
 			// after a merge, so visited positions are skipped: total
 			// replay work is bounded by the number of distinct key
 			// indices feeding this endpoint, not the sum of chain
-			// lengths.
-			visited := make(map[uint64]struct{}, t.maxWalk)
+			// lengths. A lone chain has no tails to share, so the
+			// per-lookup visited set (a real allocation cost when a
+			// campaign runs millions of lookups) is built lazily.
+			var visited map[uint64]struct{}
+			if len(ft.chains[y]) > 1 {
+				visited = make(map[uint64]struct{}, t.maxWalk)
+			}
 			for _, ch := range ft.chains[y] {
 				p := ch.start
 				for j := uint32(0); j < ch.length; j++ {
 					if _, seen := visited[p]; seen {
 						break // shared tail: already replayed
 					}
-					visited[p] = struct{}{}
+					if visited != nil {
+						visited[p] = struct{}{}
+					}
 					pfp := t.fingerprint(p, frame)
 					if pfp == fp {
 						if key := space.Key(p); matches(key, frame, keystream) {

@@ -67,6 +67,11 @@ type Config struct {
 	// KeyBits is the A5/1 session-key space (0 = 12, as the case-study
 	// scenarios use).
 	KeyBits int
+	// ScalarRadio forces per-session scalar A5/1 encryption for campaign
+	// radio synthesis instead of the 64-lane bitsliced batch encryptor —
+	// the pre-batch path, kept for batch≡scalar equivalence tests and
+	// ablation benchmarks.
+	ScalarRadio bool
 	// Scenario is the default scenario Run executes; the zero value is
 	// the paper's baseline environment (no policy, measured radio mix,
 	// full-coverage 16-receiver fleet, whole population).
@@ -427,8 +432,11 @@ var otpTimestamp = time.Date(2021, 4, 19, 12, 0, 0, 0, time.UTC)
 // victims spread across [baseARFCN, baseARFCN+CellChannels).
 const baseARFCN = 512
 
-// attackShard runs one batch end to end: synthesize every targeted
-// victim's OTP radio sessions, feed them to a pooled sniffer rig
+// attackShard runs one batch end to end, gather-then-encrypt: walk the
+// shard once collecting every targeted victim's session descriptors
+// (the per-victim draws and COUNT schedule are identical to the former
+// encode-as-you-go path), encrypt the gathered A5/1 sessions in
+// 64-lane bitsliced blocks, feed the bursts to a pooled sniffer rig
 // backed by the shared cracker, then evaluate the chain reaction for
 // each intercepted victim against the scenario's compiled plan.
 func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
@@ -454,7 +462,23 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	covered := make([]bool, len(sh.Subscribers))
 	frame := uint32(0)
 
-	// Radio phase: batched sniffer sessions over the whole shard.
+	// Gather phase: one shared OTP TPDU serves every synthesized
+	// session, so the burst count driving the COUNT schedule is computed
+	// once up front instead of marshaling per session. An unencodable
+	// TPDU keeps the targeting/coverage counters and synthesizes nothing
+	// — exactly what per-session encode failures used to do.
+	deliver := gsmcodec.Deliver{
+		Originator: "ActFort",
+		Timestamp:  otpTimestamp,
+		Text:       "Code 845512",
+	}
+	encodable := false
+	perSession := uint32(0)
+	if raw, err := deliver.Marshal(); err == nil {
+		encodable = true
+		perSession = uint32(telecom.SessionBurstCount(len(raw)))
+	}
+	batch := scr.radio[:0]
 	for li := range sh.Subscribers {
 		sub := &sh.Subscribers[li]
 		if !rt.targets(sub) {
@@ -470,39 +494,42 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		}
 		covered[li] = true
 		part.Covered++
+		if !encodable {
+			continue
+		}
 		mode := rt.mix.Mode(population.Unit(population.Mix(seed, population.TagCipher, idx)))
 		epoch := uint64(0)
+		var rnd [16]byte
+		var kc uint64
 		for s := 0; s < sessions; s++ {
+			fresh := s == 0
 			if s > 0 && population.Unit(population.Mix(seed, population.TagReauth, idx, uint64(s))) >= rt.reauthSkip {
 				epoch++ // operator re-authenticated: fresh RAND, fresh Kc
+				fresh = true
 			}
-			rnd := rand16(population.Mix(seed, population.TagRAND, idx, epoch))
+			if fresh {
+				// RAND and Kc only change with the auth epoch, so the
+				// SHA-based derivations run once per epoch, not per
+				// session (the values are identical either way).
+				rnd = rand16(population.Mix(seed, population.TagRAND, idx, epoch))
+				kc = telecom.SessionKey(e.cfg.Population.Seed(), sub.IMSI, rnd, e.space)
+			}
 			// Schedule the session's paging burst on the next CCCH
 			// paging block, as the live network does, so the table
 			// backend's frame classes cover it.
 			start := telecom.NextPagingStart(frame)
-			bursts, err := telecom.EncodeSMSBursts(telecom.SMSSession{
+			batch = append(batch, telecom.SMSSession{
 				ARFCN:      baseARFCN + int(channel),
 				CellID:     "campaign-cell",
 				SessionID:  uint32(li*sessions + s),
 				StartFrame: start,
 				Cipher:     mode,
-				Kc:         telecom.SessionKey(e.cfg.Population.Seed(), sub.IMSI, rnd, e.space),
+				Kc:         kc,
 				IMSI:       sub.IMSI,
 				RAND:       rnd,
-				Deliver: gsmcodec.Deliver{
-					Originator: "ActFort",
-					Timestamp:  otpTimestamp,
-					Text:       "Code 845512",
-				},
+				Deliver:    deliver,
 			})
-			if err != nil {
-				continue // unencodable synthetic TPDU: count nothing
-			}
-			frame = start + uint32(len(bursts))
-			for _, b := range bursts {
-				rig.Feed(b)
-			}
+			frame = start + perSession
 			part.Sessions++
 			switch mode {
 			case telecom.CipherA50:
@@ -511,6 +538,39 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 				part.A53Sessions++
 			}
 		}
+	}
+	scr.radio = batch // keep the grown buffer for the next shard
+
+	// Encrypt phase: the whole shard's A5/1 bursts run through the
+	// 64-lane bitsliced encryptor, then the rig hears every burst in
+	// session order (the order the per-session path fed them).
+	if e.cfg.ScalarRadio {
+		for i := range batch {
+			bursts, err := telecom.EncodeSMSBursts(batch[i])
+			if err != nil {
+				continue
+			}
+			for _, b := range bursts {
+				rig.Feed(b)
+			}
+		}
+	} else if len(batch) > 0 {
+		encoded, err := telecom.EncodeSMSBurstsBatch(batch)
+		if err != nil {
+			// The shared TPDU marshaled above, so the batch cannot fail;
+			// reaching here means the session counters above are already
+			// wrong, and silently dropping the shard's traffic would
+			// break the batch≡scalar Summary contract undetected.
+			panic(fmt.Sprintf("campaign: batch encode of pre-validated sessions failed: %v", err))
+		}
+		// Flatten and hand the rig the whole trace at once, so the
+		// decrypt side of interception batches through the bitsliced
+		// encryptor too.
+		flat := make([]telecom.RadioBurst, 0, len(batch)*int(perSession))
+		for _, bursts := range encoded {
+			flat = append(flat, bursts...)
+		}
+		rig.FeedBatch(flat)
 	}
 
 	// Attribute decoded captures back to victims via session IDs.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/tdg"
+	"github.com/actfort/actfort/internal/telecom"
 )
 
 // attackPlan is the campaign's precompiled view of the ecosystem: the
@@ -130,11 +131,14 @@ func buildPlan(cat *ecosys.Catalog, platforms []ecosys.Platform) (*attackPlan, e
 	return p, nil
 }
 
-// scratch is one worker's reusable per-victim state.
+// scratch is one worker's reusable state: the per-victim chain-closure
+// tables and the per-shard radio session buffer the gather-then-encrypt
+// path fills before the batch encryptor runs.
 type scratch struct {
 	enrolled []bool
 	depth    []uint8
 	active   []int32
+	radio    []telecom.SMSSession
 }
 
 func newScratch(p *attackPlan) *scratch {

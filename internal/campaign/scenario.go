@@ -36,18 +36,26 @@ type Scenario struct {
 }
 
 // RadioEnv describes the cellular conditions a scenario's victims camp
-// under. Zero values select the paper's measured environment; negative
-// fractions mean "none".
+// under.
+//
+// Probability fields follow one scenario-JSON convention: 0 (or the
+// field absent) selects the paper's measured default, a negative value
+// means "none", and anything above 1 is rejected by normalize — a JSON
+// file saying "reauthSkip": 5 is a bug, not a clamp to certainty.
 type RadioEnv struct {
-	// A50Fraction is the share of victims on unencrypted (A5/0) cells
-	// (0 = 0.2; negative = everyone ciphered).
+	// A50Fraction is the share of victims on unencrypted (A5/0) cells.
+	// 0 = the paper's default 0.2; negative = none (everyone ciphered);
+	// must not exceed 1.
 	A50Fraction float64 `json:"a50Fraction,omitempty"`
 	// A53Fraction is the share of victims on cells upgraded to A5/3,
-	// which the rig cannot crack (0 = none).
+	// which the rig cannot crack. 0 = none (the measured networks had
+	// not upgraded — here the default and "none" coincide); negative =
+	// none, accepted for symmetry; must not exceed 1.
 	A53Fraction float64 `json:"a53Fraction,omitempty"`
 	// ReauthSkip is the probability a follow-up session reuses the
-	// previous (RAND, Kc) instead of re-authenticating (0 = 0.6;
-	// negative = operators always re-authenticate).
+	// previous (RAND, Kc) instead of re-authenticating. 0 = the paper's
+	// default 0.6; negative = none (operators always re-authenticate);
+	// must not exceed 1.
 	ReauthSkip float64 `json:"reauthSkip,omitempty"`
 	// OTPSessions is how many OTP transmissions each victim's services
 	// send during the observation window (0 = 3).
@@ -137,6 +145,22 @@ func (sc Scenario) normalize(idx int) (Scenario, error) {
 	r := &sc.Radio
 	if r.OTPSessions <= 0 {
 		r.OTPSessions = 3
+	}
+	// Every probability field must land in [0, 1] after the zero-value
+	// convention resolves (0 = paper default, negative = none). A value
+	// above 1 is a misconfiguration, never a clamp: "reauthSkip": 5
+	// would silently pin every victim to one Kc forever.
+	if r.ReauthSkip > 1 {
+		return sc, fmt.Errorf("campaign: scenario %s: reauthSkip %g out of range (probabilities live in [0, 1]; 0 = default 0.6, negative = always re-authenticate)",
+			sc.Name, r.ReauthSkip)
+	}
+	if r.A50Fraction > 1 {
+		return sc, fmt.Errorf("campaign: scenario %s: a50Fraction %g out of range (fractions live in [0, 1]; 0 = default 0.2, negative = none)",
+			sc.Name, r.A50Fraction)
+	}
+	if r.A53Fraction > 1 {
+		return sc, fmt.Errorf("campaign: scenario %s: a53Fraction %g out of range (fractions live in [0, 1]; 0 = none)",
+			sc.Name, r.A53Fraction)
 	}
 	if r.ReauthSkip == 0 {
 		r.ReauthSkip = 0.6

@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeRejectsOutOfRangeProbabilities is the regression test
+// for the silent out-of-range bug: "reauthSkip": 5 used to pass
+// validation and pin every victim to one Kc forever. Every probability
+// field must land in [0, 1] or fail loudly.
+func TestNormalizeRejectsOutOfRangeProbabilities(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		radio RadioEnv
+		want  string
+	}{
+		{"reauthSkip>1", RadioEnv{ReauthSkip: 5}, "reauthSkip"},
+		{"reauthSkip barely >1", RadioEnv{ReauthSkip: 1.0001}, "reauthSkip"},
+		{"a50Fraction>1", RadioEnv{A50Fraction: 1.5}, "a50Fraction"},
+		{"a53Fraction>1", RadioEnv{A53Fraction: 2}, "a53Fraction"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Scenario{Radio: tc.radio}.normalize(0)
+			if err == nil {
+				t.Fatalf("radio %+v accepted", tc.radio)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the field %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNormalizeProbabilityBoundaries pins the values that must keep
+// working: exactly 1, the zero-value default and the negative "none"
+// convention.
+func TestNormalizeProbabilityBoundaries(t *testing.T) {
+	sc, err := Scenario{Radio: RadioEnv{ReauthSkip: 1, A50Fraction: -1, A53Fraction: 1}}.normalize(0)
+	if err != nil {
+		t.Fatalf("boundary values rejected: %v", err)
+	}
+	if sc.Radio.ReauthSkip != 1 || sc.Radio.A50Fraction != 0 || sc.Radio.A53Fraction != 1 {
+		t.Errorf("normalized radio = %+v", sc.Radio)
+	}
+	sc, err = Scenario{}.normalize(3)
+	if err != nil {
+		t.Fatalf("zero scenario rejected: %v", err)
+	}
+	if sc.Radio.ReauthSkip != 0.6 || sc.Radio.A50Fraction != 0.2 || sc.Radio.A53Fraction != 0 {
+		t.Errorf("defaults = %+v", sc.Radio)
+	}
+	// The combined-fraction check still applies after per-field checks.
+	if _, err := (Scenario{Radio: RadioEnv{A50Fraction: 0.7, A53Fraction: 0.7}}).normalize(0); err == nil {
+		t.Error("A5/0 + A5/3 > 1 accepted")
+	}
+}
+
+// TestDeltaRendering is the regression test for the comparative-table
+// glitches: a zero baseline used to render a bare "+0" with no percent,
+// and exact non-zero ties rendered the vacuous "+0 (+0.00%)".
+func TestDeltaRendering(t *testing.T) {
+	for _, tc := range []struct {
+		base, val int64
+		want      string
+	}{
+		{0, 0, "±0"},       // zero-baseline tie
+		{1234, 1234, "±0"}, // non-zero exact tie
+		{0, 7, "+7 (new)"}, // growth from nothing: no percent possible
+		{0, 1500, "+1,500 (new)"},
+		{100, 50, "-50 (-50.00%)"},
+		{1000, 1234, "+234 (+23.40%)"},
+	} {
+		if got := delta(tc.base, tc.val); got != tc.want {
+			t.Errorf("delta(%d, %d) = %q, want %q", tc.base, tc.val, got, tc.want)
+		}
+	}
+}

@@ -84,15 +84,20 @@ func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSumm
 }
 
 // delta renders a fortified count against its baseline as
-// "-1,234 (-56.78%)".
+// "-1,234 (-56.78%)". Exact ties render "±0" (no vacuous percent), and
+// growth from a zero baseline renders "+N (new)" — a percentage against
+// nothing is meaningless.
 func delta(base, val int64) string {
 	d := val - base
+	if d == 0 {
+		return "±0"
+	}
 	sign := "+"
 	if d < 0 {
 		sign = "" // comma keeps the minus
 	}
 	if base == 0 {
-		return fmt.Sprintf("%s%s", sign, comma(d))
+		return fmt.Sprintf("%s%s (new)", sign, comma(d))
 	}
 	return fmt.Sprintf("%s%s (%+.2f%%)", sign, comma(d), 100*float64(d)/float64(base))
 }

@@ -153,6 +153,21 @@ type session struct {
 	total  int
 }
 
+// payloadBursts returns the session's payload bursts (seq 1..total-1)
+// in order; ok is false when one was lost — the shared framing walk of
+// the scalar and batched processing paths.
+func (sess *session) payloadBursts() ([]telecom.RadioBurst, bool) {
+	out := make([]telecom.RadioBurst, 0, sess.total-1)
+	for seq := 1; seq < sess.total; seq++ {
+		b, ok := sess.bursts[seq]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, b)
+	}
+	return out, true
+}
+
 // New builds a sniffer against a network.
 func New(net *telecom.Network, cfg Config) *Sniffer {
 	if cfg.MaxReceivers <= 0 {
@@ -176,9 +191,13 @@ func New(net *telecom.Network, cfg Config) *Sniffer {
 func (s *Sniffer) Tune(arfcns ...int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Count each ARFCN once, however many times the call repeats it —
+	// Tune(5, 5) needs one receiver, not two.
 	fresh := 0
+	seen := make(map[int]bool, len(arfcns))
 	for _, a := range arfcns {
-		if _, ok := s.cancels[a]; !ok {
+		if _, ok := s.cancels[a]; !ok && !seen[a] {
+			seen[a] = true
 			fresh++
 		}
 	}
@@ -227,18 +246,7 @@ func (s *Sniffer) Stop() {
 // feed lossy traces directly).
 func (s *Sniffer) Feed(b telecom.RadioBurst) {
 	s.mu.Lock()
-	s.stats.BurstsSeen++
-	sess, ok := s.sessions[b.SessionID]
-	if !ok {
-		sess = &session{bursts: make(map[int]telecom.RadioBurst), total: b.Total}
-		s.sessions[b.SessionID] = sess
-	}
-	sess.bursts[b.Seq] = b
-	complete := len(sess.bursts) == sess.total
-	if complete {
-		delete(s.sessions, b.SessionID)
-		s.stats.SessionsComplete++
-	}
+	sess, complete := s.ingestLocked(b)
 	s.mu.Unlock()
 
 	if complete {
@@ -246,12 +254,124 @@ func (s *Sniffer) Feed(b telecom.RadioBurst) {
 	}
 }
 
+// FeedBatch ingests a whole recorded trace at once — the campaign
+// engine's path. Sessions complete exactly as they would under
+// burst-by-burst Feed, but the A5/1 payload decryption of every
+// completed session is gathered and run through the 64-lane bitsliced
+// batch encryptor instead of one scalar cipher per burst. Captures,
+// statistics and Kc-cache behavior are identical to feeding the same
+// bursts through Feed in order.
+func (s *Sniffer) FeedBatch(bursts []telecom.RadioBurst) {
+	s.mu.Lock()
+	var completed []*session
+	for _, b := range bursts {
+		if sess, complete := s.ingestLocked(b); complete {
+			completed = append(completed, sess)
+		}
+	}
+	s.mu.Unlock()
+
+	// Resolve every completed session's key first (cache hits and table
+	// lookups, as in the scalar path), queueing its encrypted payload
+	// bursts as decryption lanes.
+	type pending struct {
+		sess      *session
+		kc        uint64
+		crackTime time.Duration
+		payloads  [][]byte // per payload burst, decrypted in place below
+	}
+	var (
+		pend   []pending
+		kcs    []uint64
+		frames []uint32
+		datas  [][]byte
+	)
+	for _, sess := range completed {
+		// Resolve first — Feed does, so crack statistics and cache
+		// fills stay identical — then queue lanes only for sessions
+		// with every payload burst present, so lossy traffic costs no
+		// batched cipher work.
+		kc, crackTime, ok := s.resolveSession(sess)
+		if !ok {
+			continue
+		}
+		pb, ok := sess.payloadBursts()
+		if !ok {
+			continue
+		}
+		p := pending{sess: sess, kc: kc, crackTime: crackTime, payloads: make([][]byte, 0, len(pb))}
+		for _, b := range pb {
+			payload := b.Payload
+			if b.Encrypted {
+				payload = append([]byte(nil), payload...)
+				kcs = append(kcs, kc)
+				frames = append(frames, b.Frame)
+				datas = append(datas, payload)
+			}
+			p.payloads = append(p.payloads, payload)
+		}
+		pend = append(pend, p)
+	}
+	a51.EncryptBurstsBatch(kcs, frames, datas)
+	for _, p := range pend {
+		tpdu := make([]byte, 0, len(p.payloads)*16)
+		for _, payload := range p.payloads {
+			tpdu = append(tpdu, payload...)
+		}
+		s.record(p.sess, p.kc, p.crackTime, tpdu)
+	}
+}
+
+// ingestLocked buffers one burst, returning the session and whether
+// this burst completed it. Requires s.mu held.
+func (s *Sniffer) ingestLocked(b telecom.RadioBurst) (*session, bool) {
+	s.stats.BurstsSeen++
+	sess, ok := s.sessions[b.SessionID]
+	if !ok {
+		sess = &session{bursts: make(map[int]telecom.RadioBurst), total: b.Total}
+		s.sessions[b.SessionID] = sess
+	}
+	sess.bursts[b.Seq] = b
+	if len(sess.bursts) == sess.total {
+		delete(s.sessions, b.SessionID)
+		s.stats.SessionsComplete++
+		return sess, true
+	}
+	return sess, false
+}
+
 // processSession cracks (if needed), decodes and records one complete
-// transmission.
+// transmission — the scalar per-session path live traffic goes
+// through.
 func (s *Sniffer) processSession(sess *session) {
+	kc, crackTime, ok := s.resolveSession(sess)
+	if !ok {
+		return
+	}
+	pb, ok := sess.payloadBursts()
+	if !ok {
+		return // lost a payload burst
+	}
+	tpdu := make([]byte, 0, len(pb)*16)
+	for _, b := range pb {
+		payload := b.Payload
+		if b.Encrypted {
+			payload = a51.EncryptBurst(kc, b.Frame, payload)
+		}
+		tpdu = append(tpdu, payload...)
+	}
+	s.record(sess, kc, crackTime, tpdu)
+}
+
+// resolveSession produces the session key for one complete
+// transmission — replay cache, per-subscriber (IMSI, RAND) cache, or a
+// fresh crack through the backend — updating the crack statistics. ok
+// is false when the session is unusable: paging burst lost, A5/3
+// announced, or recovery failed.
+func (s *Sniffer) resolveSession(sess *session) (kc uint64, crackTime time.Duration, ok bool) {
 	paging, ok := sess.bursts[0]
 	if !ok {
-		return // lost the paging burst: no known plaintext, no crack
+		return 0, 0, false // lost the paging burst: no known plaintext, no crack
 	}
 	if paging.Cipher == telecom.CipherA53 {
 		// The ciphering mode travels in the clear; A5/3 is beyond every
@@ -259,81 +379,71 @@ func (s *Sniffer) processSession(sess *session) {
 		s.mu.Lock()
 		s.stats.A53Abandoned++
 		s.mu.Unlock()
-		return
+		return 0, 0, false
+	}
+	if !paging.Encrypted {
+		return 0, 0, true
 	}
 
-	var (
-		kc        uint64
-		crackTime time.Duration
-	)
-	if paging.Encrypted {
-		subKey := subKcKey{imsi: paging.IMSI, rand: paging.RAND}
-		subEligible := paging.IMSI != ""
-		s.mu.Lock()
-		cached, hit := s.kcCache[paging.SessionID]
-		if hit {
-			s.stats.CrackCacheHits++
-		} else if subEligible {
-			// Session unseen — but the network may have reused an
-			// authentication context the rig already cracked.
-			if k, ok := s.subKc[subKey]; ok {
-				cached, hit = k, true
-				s.stats.KcReuseHits++
-			} else {
-				s.stats.KcReuseMisses++
-			}
-		}
-		s.mu.Unlock()
-		if hit {
-			kc = cached
+	subKey := subKcKey{imsi: paging.IMSI, rand: paging.RAND}
+	subEligible := paging.IMSI != ""
+	s.mu.Lock()
+	cached, hit := s.kcCache[paging.SessionID]
+	if hit {
+		s.stats.CrackCacheHits++
+	} else if subEligible {
+		// Session unseen — but the network may have reused an
+		// authentication context the rig already cracked.
+		if k, ok := s.subKc[subKey]; ok {
+			cached, hit = k, true
+			s.stats.KcReuseHits++
 		} else {
-			start := time.Now()
-			ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
-			if err != nil {
-				return
-			}
-			s.mu.Lock()
-			s.stats.CracksAttempted++
-			s.mu.Unlock()
-			kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
-			if err != nil {
-				return
-			}
-			crackTime = time.Since(start)
-			s.mu.Lock()
-			s.stats.CracksSucceeded++
-			if len(s.kcCache) >= kcCacheMax {
-				for id := range s.kcCache {
-					delete(s.kcCache, id)
-					break
-				}
-			}
-			s.kcCache[paging.SessionID] = kc
-			if subEligible {
-				if len(s.subKc) >= kcCacheMax {
-					for k := range s.subKc {
-						delete(s.subKc, k)
-						break
-					}
-				}
-				s.subKc[subKey] = kc
-			}
-			s.mu.Unlock()
+			s.stats.KcReuseMisses++
 		}
+	}
+	s.mu.Unlock()
+	if hit {
+		return cached, 0, true
 	}
 
-	tpdu := make([]byte, 0, (sess.total-1)*16)
-	for seq := 1; seq < sess.total; seq++ {
-		b, ok := sess.bursts[seq]
-		if !ok {
-			return // lost a payload burst
-		}
-		payload := b.Payload
-		if b.Encrypted {
-			payload = a51.EncryptBurst(kc, b.Frame, payload)
-		}
-		tpdu = append(tpdu, payload...)
+	start := time.Now()
+	ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
+	if err != nil {
+		return 0, 0, false
 	}
+	s.mu.Lock()
+	s.stats.CracksAttempted++
+	s.mu.Unlock()
+	kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
+	if err != nil {
+		return 0, 0, false
+	}
+	crackTime = time.Since(start)
+	s.mu.Lock()
+	s.stats.CracksSucceeded++
+	if len(s.kcCache) >= kcCacheMax {
+		for id := range s.kcCache {
+			delete(s.kcCache, id)
+			break
+		}
+	}
+	s.kcCache[paging.SessionID] = kc
+	if subEligible {
+		if len(s.subKc) >= kcCacheMax {
+			for k := range s.subKc {
+				delete(s.subKc, k)
+				break
+			}
+		}
+		s.subKc[subKey] = kc
+	}
+	s.mu.Unlock()
+	return kc, crackTime, true
+}
+
+// record decodes a session's reassembled TPDU and files the capture.
+func (s *Sniffer) record(sess *session, kc uint64, crackTime time.Duration, tpdu []byte) {
+	paging := sess.bursts[0]
 	msg, err := gsmcodec.UnmarshalDeliver(tpdu)
 	if err != nil {
 		return

@@ -114,6 +114,89 @@ func TestReceiverCapacity(t *testing.T) {
 	}
 }
 
+// TestFeedBatchMatchesFeed pins the batched-decrypt contract: handing
+// a recorded trace to FeedBatch must produce the same captures and
+// statistics as feeding each burst through Feed in order — including
+// lossy sessions, A5/0 plaintext, A5/3 abandons and Kc-reuse cache
+// hits.
+func TestFeedBatchMatchesFeed(t *testing.T) {
+	trace := func(t *testing.T) []telecom.RadioBurst {
+		t.Helper()
+		n, sub, s := rig(t, Config{})
+		if err := s.Tune(512, 513, 514); err != nil {
+			t.Fatal(err)
+		}
+		var all []telecom.RadioBurst
+		done := n.Subscribe(512, func(b telecom.RadioBurst) { all = append(all, b) })
+		defer done()
+		done2 := n.Subscribe(513, func(b telecom.RadioBurst) { all = append(all, b) })
+		defer done2()
+		done3 := n.Subscribe(514, func(b telecom.RadioBurst) { all = append(all, b) })
+		defer done3()
+		for i := 0; i < 12; i++ {
+			if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drop one payload burst so a lossy session rides along.
+		lossy := append([]telecom.RadioBurst(nil), all...)
+		return append(lossy[:4], lossy[5:]...)
+	}
+
+	bursts := trace(t)
+	_, _, scalar := rig(t, Config{})
+	for _, b := range bursts {
+		scalar.Feed(b)
+	}
+	_, _, batched := rig(t, Config{})
+	batched.FeedBatch(bursts)
+
+	if a, b := scalar.Stats(), batched.Stats(); a != b {
+		t.Errorf("stats differ:\nscalar %+v\nbatch  %+v", a, b)
+	}
+	sc, bc := scalar.Captures(), batched.Captures()
+	if len(sc) != len(bc) {
+		t.Fatalf("capture counts differ: scalar %d batch %d", len(sc), len(bc))
+	}
+	for i := range sc {
+		a, b := sc[i], bc[i]
+		a.CrackTime, b.CrackTime = 0, 0 // the only wall-clock field
+		if a != b {
+			t.Errorf("capture %d differs:\nscalar %+v\nbatch  %+v", i, a, b)
+		}
+	}
+}
+
+// TestTuneDuplicateARFCNsOneCall is the regression test for the
+// capacity double-count: Tune(512, 512) needs one receiver, so it must
+// succeed on a one-handset rig instead of spuriously reporting
+// ErrTooManyReceivers.
+func TestTuneDuplicateARFCNsOneCall(t *testing.T) {
+	_, _, s := rig(t, Config{MaxReceivers: 1})
+	if err := s.Tune(512, 512); err != nil {
+		t.Fatalf("Tune(512, 512) on capacity 1 = %v", err)
+	}
+	if got := s.Tuned(); len(got) != 1 || got[0] != 512 {
+		t.Fatalf("Tuned = %v, want [512]", got)
+	}
+	// Mixing an already-tuned channel with duplicates of a fresh one
+	// must count exactly one new receiver.
+	_, _, s2 := rig(t, Config{MaxReceivers: 2})
+	if err := s2.Tune(512); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Tune(512, 513, 513); err != nil {
+		t.Fatalf("Tune(512, 513, 513) on capacity 2 = %v", err)
+	}
+	if got := s2.Tuned(); len(got) != 2 {
+		t.Fatalf("Tuned = %v, want two channels", got)
+	}
+	// And genuine over-capacity still fails loudly.
+	if err := s2.Tune(514, 514); !errors.Is(err, ErrTooManyReceivers) {
+		t.Fatalf("over-capacity Tune err = %v", err)
+	}
+}
+
 func TestFilterRestrictsCaptures(t *testing.T) {
 	n, sub, s := rig(t, Config{Filter: MustFilter(`sms.text contains "code"`)})
 	if err := s.Tune(512, 513, 514); err != nil {

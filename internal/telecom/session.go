@@ -41,15 +41,21 @@ type SMSSession struct {
 	Deliver gsmcodec.Deliver
 }
 
-// EncodeSMSBursts chunks the session's TPDU into radio bursts: burst 0
-// is the predictable paging burst (the known-plaintext foothold), the
-// rest carry burstChunk-byte payload slices, each encrypted under its
-// own COUNT frame value when the session is ciphered.
-func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
-	raw, err := s.Deliver.Marshal()
-	if err != nil {
-		return nil, fmt.Errorf("telecom: encode SMS: %w", err)
-	}
+// SessionBurstCount returns how many radio bursts EncodeSMSBursts
+// emits for a TPDU of rawLen marshaled bytes: the paging burst plus the
+// payload chunks. Batch callers (the campaign engine) use it to lay out
+// the COUNT schedule of millions of sessions from one shared TPDU
+// without marshaling each session.
+func SessionBurstCount(rawLen int) int {
+	return 1 + (rawLen+burstChunk-1)/burstChunk
+}
+
+// plainBursts lays out a session's bursts with plaintext payloads and
+// final COUNT frame values — everything but the cipher pass, shared by
+// the scalar and batch encoders. raw is the session's marshaled TPDU
+// (hoisted to the caller so batch encoders can marshal a shared TPDU
+// once).
+func plainBursts(s *SMSSession, raw []byte) ([]RadioBurst, CipherMode) {
 	chunks := [][]byte{PagingPlaintext(s.SessionID)}
 	for off := 0; off < len(raw); off += burstChunk {
 		end := off + burstChunk
@@ -64,29 +70,95 @@ func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
 	}
 	bursts := make([]RadioBurst, 0, len(chunks))
 	for seq, chunk := range chunks {
-		frame := Count22(s.StartFrame + uint32(seq))
-		payload := append([]byte(nil), chunk...)
-		switch cipher {
-		case CipherA51:
-			payload = a51.EncryptBurst(s.Kc, frame, payload)
-		case CipherA53:
-			payload = EncryptBurstA53(s.Kc, frame, payload)
-		}
 		bursts = append(bursts, RadioBurst{
 			ARFCN:     s.ARFCN,
 			CellID:    s.CellID,
-			Frame:     frame,
+			Frame:     Count22(s.StartFrame + uint32(seq)),
 			SessionID: s.SessionID,
 			Seq:       seq,
 			Total:     len(chunks),
 			Encrypted: cipher.Encrypts(),
 			Cipher:    cipher,
-			Payload:   payload,
+			Payload:   append([]byte(nil), chunk...),
 			IMSI:      s.IMSI,
 			RAND:      s.RAND,
 		})
 	}
+	return bursts, cipher
+}
+
+// EncodeSMSBursts chunks the session's TPDU into radio bursts: burst 0
+// is the predictable paging burst (the known-plaintext foothold), the
+// rest carry burstChunk-byte payload slices, each encrypted under its
+// own COUNT frame value when the session is ciphered.
+func EncodeSMSBursts(s SMSSession) ([]RadioBurst, error) {
+	raw, err := s.Deliver.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("telecom: encode SMS: %w", err)
+	}
+	bursts, cipher := plainBursts(&s, raw)
+	for i := range bursts {
+		switch cipher {
+		case CipherA51:
+			bursts[i].Payload = a51.EncryptBurst(s.Kc, bursts[i].Frame, bursts[i].Payload)
+		case CipherA53:
+			bursts[i].Payload = EncryptBurstA53(s.Kc, bursts[i].Frame, bursts[i].Payload)
+		}
+	}
 	return bursts, nil
+}
+
+// EncodeSMSBurstsBatch encodes many sessions in one call, batching
+// every A5/1 burst across sessions into 64-lane bitsliced encryptor
+// passes (a51.EncryptBurstsBatch): the (Kc, COUNT) pairs of up to
+// a51.BatchLanes bursts are transposed into lane-sliced registers, the
+// shared boolean clock runs once, and the keystream transposes back.
+// The output is byte-identical to calling EncodeSMSBursts on each
+// session in order — only the cipher arithmetic is batched. A5/0
+// bursts travel as plaintext and A5/3 bursts go through the scalar
+// KASUMI stand-in, so mixed-cipher batches are fine. An unencodable
+// TPDU fails the whole batch; callers synthesizing traffic at scale
+// validate their (shared) TPDU once up front.
+func EncodeSMSBurstsBatch(sessions []SMSSession) ([][]RadioBurst, error) {
+	out := make([][]RadioBurst, len(sessions))
+	var (
+		kcs      []uint64
+		frames   []uint32
+		payloads [][]byte
+		// Campaign batches carry one shared TPDU across millions of
+		// sessions; marshal it once per distinct Deliver value instead
+		// of once per session.
+		lastDeliver gsmcodec.Deliver
+		lastRaw     []byte
+		haveRaw     bool
+	)
+	for si := range sessions {
+		if !haveRaw || sessions[si].Deliver != lastDeliver {
+			raw, err := sessions[si].Deliver.Marshal()
+			if err != nil {
+				return nil, fmt.Errorf("telecom: batch session %d: %w", si, err)
+			}
+			lastDeliver, lastRaw, haveRaw = sessions[si].Deliver, raw, true
+		}
+		bursts, cipher := plainBursts(&sessions[si], lastRaw)
+		switch cipher {
+		case CipherA51:
+			for i := range bursts {
+				kcs = append(kcs, sessions[si].Kc)
+				frames = append(frames, bursts[i].Frame)
+				payloads = append(payloads, bursts[i].Payload)
+			}
+		case CipherA53:
+			for i := range bursts {
+				bursts[i].Payload = EncryptBurstA53(sessions[si].Kc, bursts[i].Frame, bursts[i].Payload)
+			}
+		}
+		out[si] = bursts
+	}
+	// One bitsliced pass per 64 gathered bursts, XORing the keystream
+	// into the burst payloads in place.
+	a51.EncryptBurstsBatch(kcs, frames, payloads)
+	return out, nil
 }
 
 // SessionKey computes the Kc a network created with the given seed

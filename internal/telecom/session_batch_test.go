@@ -1,0 +1,131 @@
+package telecom
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/actfort/actfort/internal/gsmcodec"
+)
+
+// TestEncodeSMSBurstsBatchMatchesScalar is the batch≡scalar property
+// the campaign engine's gather-then-encrypt restructure rests on:
+// EncodeSMSBurstsBatch must emit byte-identical bursts to per-session
+// EncodeSMSBursts across cipher modes (unset, A5/0, A5/1, A5/3),
+// session lengths (one-chunk OTPs up to multi-burst texts) and ragged
+// batch sizes straddling the 64-lane block boundary.
+func TestEncodeSMSBurstsBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	modes := []CipherMode{0, CipherA50, CipherA51, CipherA53}
+	for _, n := range []int{1, 5, 64, 71, 200} {
+		sessions := make([]SMSSession, n)
+		frame := uint32(0)
+		for i := range sessions {
+			text := strings.Repeat("Code 845512 ", 1+rng.Intn(8))
+			start := NextPagingStart(frame)
+			var rnd [16]byte
+			rng.Read(rnd[:])
+			sessions[i] = SMSSession{
+				ARFCN:      512 + rng.Intn(4),
+				CellID:     "batch-cell",
+				SessionID:  uint32(i),
+				StartFrame: start,
+				Cipher:     modes[rng.Intn(len(modes))],
+				Kc:         rng.Uint64(),
+				IMSI:       fmt.Sprintf("46000%05d", i),
+				RAND:       rnd,
+				Deliver: gsmcodec.Deliver{
+					Originator: "ActFort",
+					Timestamp:  time.Date(2021, 4, 19, 12, 0, 0, 0, time.UTC),
+					Text:       text,
+				},
+			}
+			frame = start + 12 // sessions may overlap frames; the encoders must not care
+		}
+		got, err := EncodeSMSBurstsBatch(sessions)
+		if err != nil {
+			t.Fatalf("n=%d: batch encode: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: batch returned %d session slices", n, len(got))
+		}
+		for i := range sessions {
+			want, err := EncodeSMSBursts(sessions[i])
+			if err != nil {
+				t.Fatalf("n=%d session %d: scalar encode: %v", n, i, err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("n=%d session %d (cipher %v): batch and scalar bursts differ:\nbatch  %+v\nscalar %+v",
+					n, i, sessions[i].Cipher, got[i], want)
+			}
+		}
+	}
+}
+
+// TestEncodeSMSBurstsBatchError pins the loud failure mode: one
+// unencodable TPDU fails the whole batch, naming the session.
+func TestEncodeSMSBurstsBatchError(t *testing.T) {
+	sessions := []SMSSession{
+		{Deliver: gsmcodec.Deliver{Originator: "ok", Text: "fine"}},
+		{Deliver: gsmcodec.Deliver{Originator: "ok", Text: "☃ not in GSM 03.38"}},
+	}
+	if _, err := EncodeSMSBurstsBatch(sessions); err == nil {
+		t.Fatal("unencodable session accepted")
+	} else if !strings.Contains(err.Error(), "session 1") {
+		t.Fatalf("error does not name the failing session: %v", err)
+	}
+}
+
+// TestSessionBurstCount pins the schedule arithmetic batch callers use
+// in place of per-session marshaling.
+func TestSessionBurstCount(t *testing.T) {
+	for _, tc := range []struct{ rawLen, want int }{
+		{0, 1}, {1, 2}, {14, 2}, {15, 3}, {28, 3}, {29, 4},
+	} {
+		if got := SessionBurstCount(tc.rawLen); got != tc.want {
+			t.Errorf("SessionBurstCount(%d) = %d, want %d", tc.rawLen, got, tc.want)
+		}
+	}
+	// And it must agree with what the encoder actually emits.
+	s := SMSSession{Deliver: gsmcodec.Deliver{Originator: "ActFort", Text: "Code 845512"}}
+	raw, err := s.Deliver.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts, err := EncodeSMSBursts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SessionBurstCount(len(raw)); got != len(bursts) {
+		t.Errorf("SessionBurstCount(%d) = %d, encoder emitted %d bursts", len(raw), got, len(bursts))
+	}
+}
+
+// A53 keystream must not depend on unrelated sessions in the batch:
+// check an A5/3 session alone and inside a mixed batch agree. (The
+// bitsliced lanes only carry A5/1 work; this guards the bookkeeping.)
+func TestEncodeSMSBurstsBatchA53Isolation(t *testing.T) {
+	mk := func(id uint32) SMSSession {
+		return SMSSession{
+			SessionID: id, Cipher: CipherA53, Kc: 0xC118000000000042,
+			Deliver: gsmcodec.Deliver{Originator: "ActFort", Text: "Code 845512"},
+		}
+	}
+	alone, err := EncodeSMSBurstsBatch([]SMSSession{mk(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := EncodeSMSBurstsBatch([]SMSSession{
+		{SessionID: 1, Cipher: CipherA51, Kc: 1, Deliver: gsmcodec.Deliver{Originator: "x", Text: "y"}},
+		mk(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alone[0], mixed[1]) {
+		t.Fatal("A5/3 session bursts differ between lone and mixed batches")
+	}
+}
