@@ -65,6 +65,15 @@ func main() {
 		scenarios    = flag.String("scenarios", "", "with -sweep: comma-separated built-in scenario names (empty = baseline,fortified,a53-mix)")
 		scenarioFile = flag.String("scenario-file", "", "with -sweep: JSON file holding the scenario list (overrides -scenarios)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: campaign [flags]\n\n"+
+				"Population-scale chain-reaction campaign over the simulated GSM air\n"+
+				"interface. Full flag reference — including the scenario-JSON zero-value\n"+
+				"convention (0 = paper default, negative = none, above 1 = error) — in\n"+
+				"cmd/campaign/README.md.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	// The library Configs read 0 as "use the default" and negative as
 	// "off"; translate an explicitly passed 0 so `-a50 0` really means

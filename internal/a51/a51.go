@@ -32,6 +32,16 @@
 // memory; the attack structure (capture burst → derive keystream from
 // known plaintext → invert to Kc → decrypt the rest of the session)
 // is identical to the real deployment; only the scale differs.
+//
+// Batch ≡ scalar invariant: the two 64-lane batch engines — the
+// encryptor (EncryptBurstsBatch: 64 independent (Kc, COUNT) bursts
+// per boolean-clock pass) and the table chain-replay engine
+// (Table.RecoverBatch: the distinguished-point walks and chain
+// replays of many lookups gathered into shared lane-sliced passes) —
+// are bit-for-bit equivalent to their scalar twins, EncryptBurst and
+// Table.Recover. Only the cipher arithmetic is batched; match order,
+// shared-tail skipping and error cases are the scalar path's, so
+// callers may switch freely (and equivalence tests pin it).
 package a51
 
 import (

@@ -63,22 +63,41 @@ func (s *bsState) out() uint64 {
 	return s.r1[18] ^ s.r2[21] ^ s.r3[22]
 }
 
+// revBitsInBytes reverses the bit order within each byte of x (bytes
+// stay in place): three mask-shift rounds instead of eight table
+// lookups.
+func revBitsInBytes(x uint64) uint64 {
+	const m1 = 0x5555555555555555
+	const m2 = 0x3333333333333333
+	const m4 = 0x0F0F0F0F0F0F0F0F
+	x = (x&m1)<<1 | (x>>1)&m1
+	x = (x&m2)<<2 | (x>>2)&m2
+	x = (x&m4)<<4 | (x>>4)&m4
+	return x
+}
+
 // loadKeys zeroes the state and runs the 64 regular clocks mixing in
 // per-lane key bits — the first stage of Cipher.init mirrored bit for
-// bit, shared by the search path (load) and the encryptor (loadPairs)
-// so the key schedule lives in exactly one place.
+// bit, shared by the search path (load), the encryptor (loadPairs) and
+// the replay engine so the key schedule lives in exactly one place.
+//
+// The per-clock key-bit planes are one 64×64 bit transpose of the key
+// words: clock i mixes in key bit (56 - 8*(i/8) + i&7) of every lane,
+// which is bit (63-i) after reversing the bit order within each byte.
+// Building the planes with transpose64 replaces the former 64×64
+// scalar bit gather — the second-hottest spot of every batch pass.
 func (s *bsState) loadKeys(keys []uint64) {
 	*s = bsState{}
+	var planes [64]uint64
+	for l, kc := range keys {
+		planes[63-l] = revBitsInBytes(kc)
+	}
+	transpose64(&planes)
 	for i := 0; i < 64; i++ {
 		s.clockAll()
-		var plane uint64
-		for l, kc := range keys {
-			keyByte := byte(kc >> (56 - 8*uint(i/8)))
-			plane |= uint64(keyByte>>(uint(i)&7)&1) << uint(l)
-		}
-		s.r1[0] ^= plane
-		s.r2[0] ^= plane
-		s.r3[0] ^= plane
+		s.r1[0] ^= planes[i]
+		s.r2[0] ^= planes[i]
+		s.r3[0] ^= planes[i]
 	}
 }
 

@@ -30,6 +30,13 @@
 //     from its policy-fortified catalog, cached by (policy, platform);
 //   - metrics stream to a single aggregator as per-shard partial
 //     summaries and render through internal/report.
+//
+// Batch ≡ scalar invariant: for a fixed seed the campaign Summary is
+// byte-identical whichever engine variant runs — the 64-lane batch
+// radio synthesis vs. per-session scalar encoding (Config.ScalarRadio)
+// and the 64-lane batched TMTO chain replay vs. per-session scalar
+// lookups (Config.ScalarReplay). The batch paths change cost, never
+// results; fixed-seed Summary-equality tests enforce it.
 package campaign
 
 import (
@@ -72,6 +79,13 @@ type Config struct {
 	// the pre-batch path, kept for batch≡scalar equivalence tests and
 	// ablation benchmarks.
 	ScalarRadio bool
+	// ScalarReplay forces the rigs to resolve session keys one at a
+	// time through the backend's scalar chain replay (Cracker.Recover)
+	// instead of gathering every crack of a shard's trace into one
+	// 64-lane bitsliced a51.BatchCracker.RecoverBatch call — the
+	// pre-batch lookup path, kept for batch≡scalar equivalence tests
+	// and ablation benchmarks, like ScalarRadio.
+	ScalarReplay bool
 	// Scenario is the default scenario Run executes; the zero value is
 	// the paper's baseline environment (no policy, measured radio mix,
 	// full-coverage 16-receiver fleet, whole population).
@@ -236,7 +250,7 @@ func (e *Engine) rig(net *telecom.Network, sig string) *sniffer.Sniffer {
 	}
 	e.rigMu.Unlock()
 	e.rigsBuilt.Add(1)
-	return sniffer.New(net, sniffer.Config{Cracker: e.cracker})
+	return sniffer.New(net, sniffer.Config{Cracker: e.cracker, ScalarReplay: e.cfg.ScalarReplay})
 }
 
 // releaseRig resets a rig and returns it to the pool, unless the radio
@@ -373,6 +387,7 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 		go func() {
 			defer wg.Done()
 			scr := newScratch(plan)
+			defer scr.release()
 			// A shell network per worker: the rig only needs the key
 			// space; no cells, no subscribers, no global lock shared
 			// with other workers.
@@ -459,7 +474,8 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	defer e.releaseRig(rig, rt.sig)
 	seed := uint64(e.cfg.Population.Seed())
 	sessions := rt.sessions
-	covered := make([]bool, len(sh.Subscribers))
+	scr.covered = boolScratch(scr.covered, len(sh.Subscribers))
+	covered := scr.covered
 	frame := uint32(0)
 
 	// Gather phase: one shared OTP TPDU serves every synthesized
@@ -555,7 +571,11 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 			}
 		}
 	} else if len(batch) > 0 {
-		encoded, err := telecom.EncodeSMSBurstsBatch(batch)
+		// The flat trace lives in the worker's pooled burst buffer:
+		// FeedBatch copies what it keeps and campaign traffic is
+		// lossless (every session completes within the call), so the
+		// buffer is free for reuse as soon as it returns.
+		flat, err := telecom.EncodeSMSBurstsInto(batch, scr.bursts)
 		if err != nil {
 			// The shared TPDU marshaled above, so the batch cannot fail;
 			// reaching here means the session counters above are already
@@ -563,18 +583,12 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 			// break the batch≡scalar Summary contract undetected.
 			panic(fmt.Sprintf("campaign: batch encode of pre-validated sessions failed: %v", err))
 		}
-		// Flatten and hand the rig the whole trace at once, so the
-		// decrypt side of interception batches through the bitsliced
-		// encryptor too.
-		flat := make([]telecom.RadioBurst, 0, len(batch)*int(perSession))
-		for _, bursts := range encoded {
-			flat = append(flat, bursts...)
-		}
 		rig.FeedBatch(flat)
 	}
 
 	// Attribute decoded captures back to victims via session IDs.
-	intercepted := make([]bool, len(sh.Subscribers))
+	scr.intercepted = boolScratch(scr.intercepted, len(sh.Subscribers))
+	intercepted := scr.intercepted
 	for _, c := range rig.Captures() {
 		intercepted[int(c.SessionID)/sessions] = true
 	}

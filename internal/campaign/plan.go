@@ -132,13 +132,20 @@ func buildPlan(cat *ecosys.Catalog, platforms []ecosys.Platform) (*attackPlan, e
 }
 
 // scratch is one worker's reusable state: the per-victim chain-closure
-// tables and the per-shard radio session buffer the gather-then-encrypt
-// path fills before the batch encryptor runs.
+// tables, the per-shard radio session buffer the gather-then-encrypt
+// path fills before the batch encryptor runs, the per-shard coverage
+// and interception marks, and the pooled burst buffer the encoded
+// trace lives in. All of it is recycled shard over shard (and, for the
+// burst buffer, scenario over scenario), so a steady-state shard
+// attack allocates nothing population-proportional.
 type scratch struct {
-	enrolled []bool
-	depth    []uint8
-	active   []int32
-	radio    []telecom.SMSSession
+	enrolled    []bool
+	depth       []uint8
+	active      []int32
+	radio       []telecom.SMSSession
+	covered     []bool
+	intercepted []bool
+	bursts      *telecom.BurstBuffer
 }
 
 func newScratch(p *attackPlan) *scratch {
@@ -146,7 +153,26 @@ func newScratch(p *attackPlan) *scratch {
 		enrolled: make([]bool, len(p.accounts)),
 		depth:    make([]uint8, len(p.accounts)),
 		active:   make([]int32, 0, 64),
+		bursts:   telecom.AcquireBurstBuffer(),
 	}
+}
+
+// release returns the scratch's pooled resources; the scratch must not
+// be used afterwards.
+func (s *scratch) release() {
+	s.bursts.Release()
+	s.bursts = nil
+}
+
+// boolScratch returns a zeroed length-n bool slice, reusing s's
+// storage when it is large enough.
+func boolScratch(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // maxUseful bounds chain depth: beyond it further layers are counted

@@ -5,6 +5,12 @@
 // encrypted flow the radio attacker never sees — plus the before/after
 // evaluation that re-runs the ActFort measurement on the fortified
 // ecosystem.
+//
+// Fortifications are exposed as a named Policy registry over catalog
+// rewrites, with one invariant campaign sweeps depend on: Apply never
+// mutates its input catalog (every rewriter works on a deep clone), so
+// N scenarios sharing one population can each compile their own
+// fortified attack plan while before/after comparisons stay valid.
 package countermeasure
 
 import (

@@ -9,6 +9,12 @@
 // and can be materialized independently and in parallel, and nothing
 // is retained between Shard calls — a campaign streams shards through
 // a worker pool without ever holding the whole population in memory.
+//
+// That purity is the invariant every batch≡scalar equivalence test
+// upstream rests on: regenerating a shard yields bit-identical
+// subscribers (Fingerprint pins it, versioned by FingerprintVersion),
+// so two campaign runs over one seed differ only in engine mechanics,
+// never in the world being attacked.
 package population
 
 import (

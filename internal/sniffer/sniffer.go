@@ -7,9 +7,19 @@
 // Coverage is physical: a receiver hears only the ARFCN it is tuned
 // to, so interception probability scales with how many of the cell's
 // channels the attacker can cover — reproduced by experiment E6.
+//
+// Batch ≡ scalar invariant: FeedBatch ingests a whole recorded trace
+// at once and batches both payload decryption (64-lane a51 encryptor)
+// and fresh key recovery (one a51.BatchCracker.RecoverBatch call per
+// trace, deduplicated against the session and auth-context caches),
+// yet produces exactly the captures, statistics and cache state of
+// feeding the same bursts through Feed one at a time. Config's
+// ScalarReplay knob forces the per-session crack path so equivalence
+// tests and ablations can hold the batch engine against it.
 package sniffer
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -19,6 +29,7 @@ import (
 
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/slab"
 	"github.com/actfort/actfort/internal/telecom"
 )
 
@@ -100,6 +111,13 @@ type Config struct {
 	// precomputed a51.Table turns per-session recovery into an
 	// amortized table lookup.
 	Cracker a51.Cracker
+	// ScalarReplay forces FeedBatch to resolve session keys one at a
+	// time through Cracker.Recover even when the backend implements
+	// a51.BatchCracker — the pre-batch scalar chain-replay path, kept
+	// for batch≡scalar equivalence tests and ablation benchmarks (the
+	// campaign engine's Config.ScalarReplay sets it, like ScalarRadio
+	// keeps the per-session radio encoder).
+	ScalarReplay bool
 	// Filter, when non-nil, restricts Captures to matching messages;
 	// non-matching messages are still decoded and counted.
 	Filter Filter
@@ -134,6 +152,18 @@ type Sniffer struct {
 	// crack. Keyed on (IMSI, RAND) — both visible on the air in real
 	// GSM — and bounded like kcCache.
 	subKc map[subKcKey]uint64
+	// sessFree recycles completed session buffers (the map-per-session
+	// allocation is a real GC cost when a campaign streams millions of
+	// sessions through one rig). Invisible state: Reset keeps it.
+	sessFree []*session
+	// TPDU decode memo: campaign traffic reassembles the same OTP TPDU
+	// for millions of sessions, so record caches the last decode keyed
+	// by the raw bytes. Content-addressed, hence correctness-neutral;
+	// Reset keeps it.
+	lastTPDU []byte
+	lastMsg  gsmcodec.Deliver
+	lastErr  error
+	haveTPDU bool
 }
 
 // subKcKey identifies one subscriber authentication context.
@@ -153,19 +183,25 @@ type session struct {
 	total  int
 }
 
-// payloadBursts returns the session's payload bursts (seq 1..total-1)
-// in order; ok is false when one was lost — the shared framing walk of
-// the scalar and batched processing paths.
-func (sess *session) payloadBursts() ([]telecom.RadioBurst, bool) {
-	out := make([]telecom.RadioBurst, 0, sess.total-1)
+// appendPayloadBursts appends the session's payload bursts (seq
+// 1..total-1) in order onto dst; ok is false (and dst is returned
+// unchanged) when one was lost — the shared framing walk of the scalar
+// and batched processing paths.
+func (sess *session) appendPayloadBursts(dst []telecom.RadioBurst) ([]telecom.RadioBurst, bool) {
+	base := len(dst)
 	for seq := 1; seq < sess.total; seq++ {
 		b, ok := sess.bursts[seq]
 		if !ok {
-			return nil, false
+			return dst[:base], false
 		}
-		out = append(out, b)
+		dst = append(dst, b)
 	}
-	return out, true
+	return dst, true
+}
+
+// payloadBursts is appendPayloadBursts into a fresh slice.
+func (sess *session) payloadBursts() ([]telecom.RadioBurst, bool) {
+	return sess.appendPayloadBursts(make([]telecom.RadioBurst, 0, sess.total-1))
 }
 
 // New builds a sniffer against a network.
@@ -251,75 +287,249 @@ func (s *Sniffer) Feed(b telecom.RadioBurst) {
 
 	if complete {
 		s.processSession(sess)
+		s.recycleSessions(sess)
 	}
+}
+
+// feedScratch is the reusable memory of one FeedBatch call — completed
+// sessions, the crack prefetch queue, decryption lanes, payload copies
+// and the TPDU assembly buffer — recycled through a sync.Pool so a
+// campaign shard's trace costs no per-session allocation storm.
+type feedScratch struct {
+	completed []*session
+	// Crack prefetch state: crackOf[i] is the sample index queued for
+	// completed[i] (-1 when resolution will not need a fresh crack),
+	// and pendSess/pendSub dedupe repeats of one session ID or one
+	// (IMSI, RAND) auth context within the batch.
+	crackOf  []int32
+	samples  []a51.Sample
+	keys     []uint64
+	errs     []error
+	share    time.Duration
+	pendSess map[uint32]int32
+	pendSub  map[subKcKey]int32
+	// Decrypt/record state.
+	pend     []pendingCapture
+	pb       []telecom.RadioBurst
+	payloads [][]byte
+	kcs      []uint64
+	frames   []uint32
+	lanes    [][]byte
+	slab     slab.Slab[byte]
+	tpdu     []byte
+}
+
+// pendingCapture is one resolved session awaiting batched decryption:
+// its payload slices live in feedScratch.payloads[pstart:pstart+pcount].
+type pendingCapture struct {
+	sess           *session
+	kc             uint64
+	crackTime      time.Duration
+	pstart, pcount int32
+}
+
+var feedScratchPool = sync.Pool{New: func() any {
+	return &feedScratch{
+		pendSess: make(map[uint32]int32),
+		pendSub:  make(map[subKcKey]int32),
+	}
+}}
+
+// grab carves an n-byte buffer from the scratch slab arena (every
+// byte is overwritten by the caller; see internal/slab for the
+// aliasing guarantees).
+func (fs *feedScratch) grab(n int) []byte { return fs.slab.Grab(n) }
+
+// reset drops every reference the scratch accumulated (so the pool
+// retains capacity, not sessions or payloads) and empties it.
+func (fs *feedScratch) reset() {
+	clear(fs.completed)
+	clear(fs.samples)
+	clear(fs.pend)
+	clear(fs.pb)
+	clear(fs.payloads)
+	clear(fs.lanes)
+	clear(fs.pendSess)
+	clear(fs.pendSub)
+	fs.completed = fs.completed[:0]
+	fs.crackOf = fs.crackOf[:0]
+	fs.samples = fs.samples[:0]
+	fs.keys, fs.errs, fs.share = nil, nil, 0
+	fs.pend = fs.pend[:0]
+	fs.pb = fs.pb[:0]
+	fs.payloads = fs.payloads[:0]
+	fs.kcs = fs.kcs[:0]
+	fs.frames = fs.frames[:0]
+	fs.lanes = fs.lanes[:0]
+	fs.slab.Reset()
+	fs.tpdu = fs.tpdu[:0]
 }
 
 // FeedBatch ingests a whole recorded trace at once — the campaign
 // engine's path. Sessions complete exactly as they would under
-// burst-by-burst Feed, but the A5/1 payload decryption of every
-// completed session is gathered and run through the 64-lane bitsliced
-// batch encryptor instead of one scalar cipher per burst. Captures,
-// statistics and Kc-cache behavior are identical to feeding the same
-// bursts through Feed in order.
+// burst-by-burst Feed, but two batch engines replace the per-session
+// scalar work: every fresh key recovery the batch needs is resolved in
+// ONE a51.BatchCracker.RecoverBatch call (64-lane bitsliced chain
+// replay across all sessions; see prefetchCracks), and the A5/1
+// payload decryption of every completed session runs through the
+// 64-lane bitsliced batch encryptor instead of one scalar cipher per
+// burst. Captures, statistics and Kc-cache behavior are identical to
+// feeding the same bursts through Feed in order.
+//
+// The input bursts are only read during the call: payloads the rig
+// keeps are copied, so callers may recycle the trace memory (e.g. a
+// telecom.BurstBuffer) once FeedBatch returns — provided the trace
+// completed every session it started, since bursts of an incomplete
+// session stay buffered by reference until its remainder arrives.
 func (s *Sniffer) FeedBatch(bursts []telecom.RadioBurst) {
+	fs := feedScratchPool.Get().(*feedScratch)
+	defer func() {
+		fs.reset()
+		feedScratchPool.Put(fs)
+	}()
+
 	s.mu.Lock()
-	var completed []*session
 	for _, b := range bursts {
 		if sess, complete := s.ingestLocked(b); complete {
-			completed = append(completed, sess)
+			fs.completed = append(fs.completed, sess)
 		}
 	}
 	s.mu.Unlock()
 
-	// Resolve every completed session's key first (cache hits and table
-	// lookups, as in the scalar path), queueing its encrypted payload
-	// bursts as decryption lanes.
-	type pending struct {
-		sess      *session
-		kc        uint64
-		crackTime time.Duration
-		payloads  [][]byte // per payload burst, decrypted in place below
-	}
-	var (
-		pend   []pending
-		kcs    []uint64
-		frames []uint32
-		datas  [][]byte
-	)
-	for _, sess := range completed {
-		// Resolve first — Feed does, so crack statistics and cache
-		// fills stay identical — then queue lanes only for sessions
-		// with every payload burst present, so lossy traffic costs no
-		// batched cipher work.
-		kc, crackTime, ok := s.resolveSession(sess)
+	s.prefetchCracks(fs)
+
+	// Resolve every completed session in trace order — cache hits,
+	// prefetched table lookups and scalar fallbacks take the exact
+	// paths Feed takes — queueing the encrypted payload bursts of
+	// resolvable sessions as decryption lanes. Lossy sessions cost no
+	// batched cipher work.
+	prefetched := len(fs.crackOf) == len(fs.completed)
+	for ci, sess := range fs.completed {
+		var pre *crackResult
+		if prefetched && fs.crackOf[ci] >= 0 {
+			k := fs.crackOf[ci]
+			pre = &crackResult{kc: fs.keys[k], err: fs.errs[k], took: fs.share}
+		}
+		kc, crackTime, ok := s.resolveSessionPre(sess, pre)
 		if !ok {
 			continue
 		}
-		pb, ok := sess.payloadBursts()
+		pbStart := len(fs.pb)
+		fs.pb, ok = sess.appendPayloadBursts(fs.pb)
 		if !ok {
-			continue
+			continue // lost a payload burst
 		}
-		p := pending{sess: sess, kc: kc, crackTime: crackTime, payloads: make([][]byte, 0, len(pb))}
-		for _, b := range pb {
+		pstart := int32(len(fs.payloads))
+		for _, b := range fs.pb[pbStart:] {
 			payload := b.Payload
 			if b.Encrypted {
-				payload = append([]byte(nil), payload...)
-				kcs = append(kcs, kc)
-				frames = append(frames, b.Frame)
-				datas = append(datas, payload)
+				cp := fs.grab(len(payload))
+				copy(cp, payload)
+				fs.kcs = append(fs.kcs, kc)
+				fs.frames = append(fs.frames, b.Frame)
+				fs.lanes = append(fs.lanes, cp)
+				payload = cp
 			}
-			p.payloads = append(p.payloads, payload)
+			fs.payloads = append(fs.payloads, payload)
 		}
-		pend = append(pend, p)
+		fs.pend = append(fs.pend, pendingCapture{
+			sess: sess, kc: kc, crackTime: crackTime,
+			pstart: pstart, pcount: int32(len(fs.payloads)) - pstart,
+		})
 	}
-	a51.EncryptBurstsBatch(kcs, frames, datas)
-	for _, p := range pend {
-		tpdu := make([]byte, 0, len(p.payloads)*16)
-		for _, payload := range p.payloads {
-			tpdu = append(tpdu, payload...)
+	a51.EncryptBurstsBatch(fs.kcs, fs.frames, fs.lanes)
+	for i := range fs.pend {
+		p := &fs.pend[i]
+		fs.tpdu = fs.tpdu[:0]
+		for _, payload := range fs.payloads[p.pstart : p.pstart+p.pcount] {
+			fs.tpdu = append(fs.tpdu, payload...)
 		}
-		s.record(p.sess, p.kc, p.crackTime, tpdu)
+		s.record(p.sess, p.kc, p.crackTime, fs.tpdu)
 	}
+	s.recycleSessions(fs.completed...)
+}
+
+// prefetchCracks is the batched half of key recovery: one pass over
+// the completed sessions decides, against the current cache state,
+// which will need a fresh crack — deduplicating repeats of one session
+// ID and of one (IMSI, RAND) auth context within the batch, since the
+// first crack fills the cache the rest will hit — and resolves all of
+// them in a single BatchCracker.RecoverBatch call. The results are
+// only a memo: resolution still runs in trace order against the real
+// caches (resolveSessionPre), so statistics, cache fills and returned
+// keys stay byte-identical to the scalar path; a prefetch the
+// sequential pass disagrees with (say, a cache entry evicted between
+// passes, or a failed crack a later duplicate session must retry) is
+// ignored or recomputed inline.
+func (s *Sniffer) prefetchCracks(fs *feedScratch) {
+	if s.cfg.ScalarReplay {
+		return
+	}
+	bc, ok := s.cfg.Cracker.(a51.BatchCracker)
+	if !ok {
+		return
+	}
+	var plain [telecom.PagingPlaintextLen]byte
+	s.mu.Lock()
+	for _, sess := range fs.completed {
+		fs.crackOf = append(fs.crackOf, -1)
+		paging, ok := sess.bursts[0]
+		if !ok || paging.Cipher == telecom.CipherA53 || !paging.Encrypted {
+			continue
+		}
+		if _, hit := s.kcCache[paging.SessionID]; hit {
+			continue
+		}
+		if _, hit := fs.pendSess[paging.SessionID]; hit {
+			continue
+		}
+		subKey := subKcKey{imsi: paging.IMSI, rand: paging.RAND}
+		if paging.IMSI != "" {
+			if _, hit := s.subKc[subKey]; hit {
+				continue
+			}
+			if _, hit := fs.pendSub[subKey]; hit {
+				continue
+			}
+		}
+		if len(paging.Payload) != len(plain) {
+			continue // DeriveKeystream would reject it; resolve scalar
+		}
+		telecom.FillPagingPlaintext(plain[:], paging.SessionID)
+		ks := fs.grab(len(plain))
+		for i := range plain {
+			ks[i] = paging.Payload[i] ^ plain[i]
+		}
+		idx := int32(len(fs.samples))
+		fs.samples = append(fs.samples, a51.Sample{Keystream: ks, Frame: paging.Frame})
+		fs.crackOf[len(fs.crackOf)-1] = idx
+		fs.pendSess[paging.SessionID] = idx
+		if paging.IMSI != "" {
+			fs.pendSub[subKey] = idx
+		}
+	}
+	s.mu.Unlock()
+	if len(fs.samples) == 0 {
+		return
+	}
+	start := time.Now()
+	fs.keys, fs.errs = a51.RecoverAll(context.Background(), bc, fs.samples, s.net.KeySpace())
+	// Per-capture CrackTime is the amortized share of the batch — the
+	// honest per-message cost of an amortized engine.
+	fs.share = time.Since(start) / time.Duration(len(fs.samples))
+}
+
+// recycleSessions clears completed session buffers and returns them to
+// the freelist. Callers must be completely done with the sessions:
+// they are out of s.sessions already (ingestLocked removed them on
+// completion), so the freelist is the only remaining reference.
+func (s *Sniffer) recycleSessions(sessions ...*session) {
+	for _, sess := range sessions {
+		clear(sess.bursts)
+	}
+	s.mu.Lock()
+	s.sessFree = append(s.sessFree, sessions...)
+	s.mu.Unlock()
 }
 
 // ingestLocked buffers one burst, returning the session and whether
@@ -328,7 +538,13 @@ func (s *Sniffer) ingestLocked(b telecom.RadioBurst) (*session, bool) {
 	s.stats.BurstsSeen++
 	sess, ok := s.sessions[b.SessionID]
 	if !ok {
-		sess = &session{bursts: make(map[int]telecom.RadioBurst), total: b.Total}
+		if n := len(s.sessFree); n > 0 {
+			sess = s.sessFree[n-1]
+			s.sessFree = s.sessFree[:n-1]
+			sess.total = b.Total
+		} else {
+			sess = &session{bursts: make(map[int]telecom.RadioBurst), total: b.Total}
+		}
 		s.sessions[b.SessionID] = sess
 	}
 	sess.bursts[b.Seq] = b
@@ -363,12 +579,32 @@ func (s *Sniffer) processSession(sess *session) {
 	s.record(sess, kc, crackTime, tpdu)
 }
 
+// crackResult carries a batch-prefetched key recovery into
+// resolveSessionPre: the key (or error) RecoverBatch produced for this
+// session's sample, and the amortized share of the batch wall time.
+type crackResult struct {
+	kc   uint64
+	err  error
+	took time.Duration
+}
+
 // resolveSession produces the session key for one complete
 // transmission — replay cache, per-subscriber (IMSI, RAND) cache, or a
 // fresh crack through the backend — updating the crack statistics. ok
 // is false when the session is unusable: paging burst lost, A5/3
 // announced, or recovery failed.
 func (s *Sniffer) resolveSession(sess *session) (kc uint64, crackTime time.Duration, ok bool) {
+	return s.resolveSessionPre(sess, nil)
+}
+
+// resolveSessionPre is resolveSession with an optional prefetched
+// crack: when the caches miss and pre is non-nil, the batch's result
+// stands in for the Cracker.Recover call (the sample was derived from
+// the same paging burst, so the result is the same by determinism of
+// the backend); everything else — cache consultation order, statistic
+// increments, cache fills and eviction — is the scalar path, executed
+// in the caller's session order.
+func (s *Sniffer) resolveSessionPre(sess *session, pre *crackResult) (kc uint64, crackTime time.Duration, ok bool) {
 	paging, ok := sess.bursts[0]
 	if !ok {
 		return 0, 0, false // lost the paging burst: no known plaintext, no crack
@@ -406,19 +642,33 @@ func (s *Sniffer) resolveSession(sess *session) (kc uint64, crackTime time.Durat
 		return cached, 0, true
 	}
 
-	start := time.Now()
-	ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
-	if err != nil {
-		return 0, 0, false
+	if pre != nil {
+		// The batch already replayed this sample through the backend;
+		// consume its result instead of re-walking the chains. The
+		// derivation step is skipped too: prefetchCracks only queued a
+		// sample whose known plaintext derived cleanly.
+		s.mu.Lock()
+		s.stats.CracksAttempted++
+		s.mu.Unlock()
+		if pre.err != nil {
+			return 0, 0, false
+		}
+		kc, crackTime = pre.kc, pre.took
+	} else {
+		start := time.Now()
+		ks, err := a51.DeriveKeystream(paging.Payload, telecom.PagingPlaintext(paging.SessionID))
+		if err != nil {
+			return 0, 0, false
+		}
+		s.mu.Lock()
+		s.stats.CracksAttempted++
+		s.mu.Unlock()
+		kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
+		if err != nil {
+			return 0, 0, false
+		}
+		crackTime = time.Since(start)
 	}
-	s.mu.Lock()
-	s.stats.CracksAttempted++
-	s.mu.Unlock()
-	kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
-	if err != nil {
-		return 0, 0, false
-	}
-	crackTime = time.Since(start)
 	s.mu.Lock()
 	s.stats.CracksSucceeded++
 	if len(s.kcCache) >= kcCacheMax {
@@ -442,9 +692,26 @@ func (s *Sniffer) resolveSession(sess *session) (kc uint64, crackTime time.Durat
 }
 
 // record decodes a session's reassembled TPDU and files the capture.
+// tpdu is only read during the call (the memo copies it), so callers
+// may pass a recycled assembly buffer.
 func (s *Sniffer) record(sess *session, kc uint64, crackTime time.Duration, tpdu []byte) {
 	paging := sess.bursts[0]
-	msg, err := gsmcodec.UnmarshalDeliver(tpdu)
+	s.mu.Lock()
+	hit := s.haveTPDU && bytes.Equal(tpdu, s.lastTPDU)
+	msg, err := s.lastMsg, s.lastErr
+	s.mu.Unlock()
+	if !hit {
+		// Decode outside the lock: live rigs with heterogeneous traffic
+		// miss the memo on most messages and must not serialize decoding
+		// behind the ingest mutex. Two concurrent misses both decode and
+		// the last memo write wins — content-keyed, so still correct.
+		msg, err = gsmcodec.UnmarshalDeliver(tpdu)
+		s.mu.Lock()
+		s.lastMsg, s.lastErr = msg, err
+		s.lastTPDU = append(s.lastTPDU[:0], tpdu...)
+		s.haveTPDU = true
+		s.mu.Unlock()
+	}
 	if err != nil {
 		return
 	}

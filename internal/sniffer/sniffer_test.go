@@ -167,6 +167,91 @@ func TestFeedBatchMatchesFeed(t *testing.T) {
 	}
 }
 
+// TestFeedBatchMatchesFeedTableBackend pins the batched-crack contract
+// of the tentpole: with a TMTO table (an a51.BatchCracker) behind the
+// rig, FeedBatch prefetches every fresh key recovery of the trace in
+// one bitsliced RecoverBatch call — deduplicating session-ID repeats
+// and (IMSI, RAND) auth-context reuse within the batch — and must
+// still produce the same captures and statistics as burst-by-burst
+// Feed, and as FeedBatch with ScalarReplay forcing per-session scalar
+// chain replay.
+func TestFeedBatchMatchesFeedTableBackend(t *testing.T) {
+	space := a51.KeySpace{Base: 0xC118000000000000, Bits: 10}
+	table, err := a51.BuildTable(space, a51.TableConfig{Frames: telecom.PagingFrames(), ChainLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := func(t *testing.T, reauthEvery int) []telecom.RadioBurst {
+		t.Helper()
+		n := telecom.NewNetwork(telecom.Config{
+			KeySpace:    space,
+			Seed:        11,
+			ReauthEvery: reauthEvery,
+		})
+		cell, err := n.AddCell(telecom.Cell{ID: "cell-1", ARFCNs: []int{512}, Cipher: telecom.CipherA51})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := n.Register("460000000000001", "+8613800000001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		term, err := n.NewTerminal(sub, telecom.RATGSM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := term.Attach(cell); err != nil {
+			t.Fatal(err)
+		}
+		var all []telecom.RadioBurst
+		done := n.Subscribe(512, func(b telecom.RadioBurst) { all = append(all, b) })
+		defer done()
+		for i := 0; i < 9; i++ {
+			if _, err := n.SendSMS("Google", sub.MSISDN, "G-845512 is your code"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drop one payload burst so a lossy session rides along.
+		return append(all[:4], all[5:]...)
+	}
+
+	// reauthEvery=3: consecutive sessions reuse (RAND, Kc), so the
+	// batch's pendSub dedupe and the KcReuse counters are exercised.
+	for _, reauthEvery := range []int{0, 3} {
+		bursts := trace(t, reauthEvery)
+
+		feed := New(telecom.NewNetwork(telecom.Config{KeySpace: space, Seed: 11}), Config{Cracker: table})
+		for _, b := range bursts {
+			feed.Feed(b)
+		}
+		batch := New(telecom.NewNetwork(telecom.Config{KeySpace: space, Seed: 11}), Config{Cracker: table})
+		batch.FeedBatch(bursts)
+		scalar := New(telecom.NewNetwork(telecom.Config{KeySpace: space, Seed: 11}), Config{Cracker: table, ScalarReplay: true})
+		scalar.FeedBatch(bursts)
+
+		for _, cmp := range []struct {
+			name string
+			s    *Sniffer
+		}{{"batch-replay", batch}, {"scalar-replay", scalar}} {
+			if a, b := feed.Stats(), cmp.s.Stats(); a != b {
+				t.Errorf("reauth=%d %s stats differ:\nfeed  %+v\nother %+v", reauthEvery, cmp.name, a, b)
+			}
+			fc, oc := feed.Captures(), cmp.s.Captures()
+			if len(fc) != len(oc) {
+				t.Fatalf("reauth=%d %s capture counts differ: %d vs %d", reauthEvery, cmp.name, len(fc), len(oc))
+			}
+			for i := range fc {
+				a, b := fc[i], oc[i]
+				a.CrackTime, b.CrackTime = 0, 0 // the only wall-clock field
+				if a != b {
+					t.Errorf("reauth=%d %s capture %d differs:\nfeed  %+v\nother %+v", reauthEvery, cmp.name, i, a, b)
+				}
+			}
+		}
+	}
+}
+
 // TestTuneDuplicateARFCNsOneCall is the regression test for the
 // capacity double-count: Tune(512, 512) needs one receiver, so it must
 // succeed on a one-handset rig instead of spuriously reporting

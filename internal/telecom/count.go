@@ -66,10 +66,19 @@ func (m CellMix) Mode(u float64) CipherMode {
 // internal/a51 recovers its key, so A5/3 traffic is opaque to the rig.
 // XOR symmetry makes it its own inverse.
 func EncryptBurstA53(kc uint64, frame uint32, payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	xorBurstA53(kc, frame, out)
+	return out
+}
+
+// xorBurstA53 is EncryptBurstA53 in place: the pooled batch encoder
+// ciphers A5/3 payloads inside its recycled slab instead of paying a
+// fresh allocation per burst.
+func xorBurstA53(kc uint64, frame uint32, payload []byte) {
 	var seed [12]byte
 	binary.BigEndian.PutUint64(seed[:8], kc)
 	binary.BigEndian.PutUint32(seed[8:], frame)
-	out := make([]byte, len(payload))
 	var block [32]byte
 	for off := 0; off < len(payload); off += len(block) {
 		h := sha256.New()
@@ -80,8 +89,7 @@ func EncryptBurstA53(kc uint64, frame uint32, payload []byte) []byte {
 		h.Write(ctr[:])
 		h.Sum(block[:0])
 		for i := 0; i < len(block) && off+i < len(payload); i++ {
-			out[off+i] = payload[off+i] ^ block[i]
+			payload[off+i] ^= block[i]
 		}
 	}
-	return out
 }

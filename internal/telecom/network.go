@@ -14,6 +14,14 @@
 // for the real rainbow-table crack; the GSM one-way authentication
 // (no network authentication to the phone) is modeled faithfully
 // because it is the flaw the fake base station exploits.
+//
+// Batch ≡ scalar invariant: the three burst encoders — per-session
+// EncodeSMSBursts, batched EncodeSMSBurstsBatch, and the pooled flat
+// EncodeSMSBurstsInto — produce byte-identical bursts for the same
+// sessions. The batch forms only change where cipher arithmetic runs
+// (64-lane a51 passes across sessions) and where memory comes from
+// (a recycled BurstBuffer slab); layout, COUNT schedule and payloads
+// are the scalar encoder's, and property tests pin the equality.
 package telecom
 
 import (
@@ -22,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -357,10 +366,22 @@ func (n *Network) emit(b RadioBurst) {
 // paging/system information messages), which is what makes the
 // known-plaintext attack possible.
 func PagingPlaintext(sessionID uint32) []byte {
-	buf := make([]byte, burstChunk)
+	buf := make([]byte, PagingPlaintextLen)
+	FillPagingPlaintext(buf, sessionID)
+	return buf
+}
+
+// PagingPlaintextLen is the byte length of every paging burst payload.
+const PagingPlaintextLen = burstChunk
+
+// FillPagingPlaintext writes PagingPlaintext(sessionID) into a
+// PagingPlaintextLen-sized buffer, overwriting every byte — the
+// allocation-free form pooled encoders and the batch sniffer use on
+// recycled slab memory (the 10 header bytes plus the 4-byte session ID
+// cover the length exactly).
+func FillPagingPlaintext(buf []byte, sessionID uint32) {
 	copy(buf, "PAGINGREQ1")
 	binary.BigEndian.PutUint32(buf[10:], sessionID)
-	return buf
 }
 
 // burstChunk is the payload bytes carried per burst: 14 bytes = 112
@@ -369,9 +390,17 @@ const burstChunk = 14
 
 // kiFor derives a subscriber's SIM secret from the network seed, so
 // experiments are reproducible and synthesized traffic (SessionKey)
-// agrees with registered subscribers.
+// agrees with registered subscribers. The preimage bytes are exactly
+// the former fmt.Sprintf("ki|%d|%s", seed, imsi) — campaign synthesis
+// runs this per auth epoch, so it is assembled without fmt's
+// allocations.
 func kiFor(seed int64, imsi string) [16]byte {
-	h := sha256.Sum256([]byte(fmt.Sprintf("ki|%d|%s", seed, imsi)))
+	buf := make([]byte, 0, 64)
+	buf = append(buf, "ki|"...)
+	buf = strconv.AppendInt(buf, seed, 10)
+	buf = append(buf, '|')
+	buf = append(buf, imsi...)
+	h := sha256.Sum256(buf)
 	var ki [16]byte
 	copy(ki[:], h[:16])
 	return ki

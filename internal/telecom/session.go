@@ -50,41 +50,55 @@ func SessionBurstCount(rawLen int) int {
 	return 1 + (rawLen+burstChunk-1)/burstChunk
 }
 
-// plainBursts lays out a session's bursts with plaintext payloads and
-// final COUNT frame values — everything but the cipher pass, shared by
-// the scalar and batch encoders. raw is the session's marshaled TPDU
-// (hoisted to the caller so batch encoders can marshal a shared TPDU
-// once).
-func plainBursts(s *SMSSession, raw []byte) ([]RadioBurst, CipherMode) {
-	chunks := [][]byte{PagingPlaintext(s.SessionID)}
-	for off := 0; off < len(raw); off += burstChunk {
-		end := off + burstChunk
-		if end > len(raw) {
-			end = len(raw)
-		}
-		chunks = append(chunks, raw[off:end])
-	}
+// appendSessionBursts lays out a session's bursts — plaintext payloads
+// and final COUNT frame values, everything but the cipher pass — onto
+// dst, shared by the scalar and batch encoders. raw is the session's
+// marshaled TPDU (hoisted to the caller so batch encoders can marshal
+// a shared TPDU once). grab supplies each payload buffer; every byte
+// of a grabbed buffer is overwritten, so pooled callers may hand out
+// recycled slab memory.
+func appendSessionBursts(dst []RadioBurst, s *SMSSession, raw []byte, grab func(n int) []byte) ([]RadioBurst, CipherMode) {
+	total := SessionBurstCount(len(raw))
 	cipher := s.Cipher
 	if cipher == 0 {
 		cipher = CipherA50
 	}
-	bursts := make([]RadioBurst, 0, len(chunks))
-	for seq, chunk := range chunks {
-		bursts = append(bursts, RadioBurst{
+	for seq := 0; seq < total; seq++ {
+		var payload []byte
+		if seq == 0 {
+			payload = grab(burstChunk)
+			FillPagingPlaintext(payload, s.SessionID)
+		} else {
+			off := (seq - 1) * burstChunk
+			end := off + burstChunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			payload = grab(end - off)
+			copy(payload, raw[off:end])
+		}
+		dst = append(dst, RadioBurst{
 			ARFCN:     s.ARFCN,
 			CellID:    s.CellID,
 			Frame:     Count22(s.StartFrame + uint32(seq)),
 			SessionID: s.SessionID,
 			Seq:       seq,
-			Total:     len(chunks),
+			Total:     total,
 			Encrypted: cipher.Encrypts(),
 			Cipher:    cipher,
-			Payload:   append([]byte(nil), chunk...),
+			Payload:   payload,
 			IMSI:      s.IMSI,
 			RAND:      s.RAND,
 		})
 	}
-	return bursts, cipher
+	return dst, cipher
+}
+
+// plainBursts is appendSessionBursts with per-burst heap payloads — the
+// layout step of the non-pooled encoders.
+func plainBursts(s *SMSSession, raw []byte) ([]RadioBurst, CipherMode) {
+	dst := make([]RadioBurst, 0, SessionBurstCount(len(raw)))
+	return appendSessionBursts(dst, s, raw, func(n int) []byte { return make([]byte, n) })
 }
 
 // EncodeSMSBursts chunks the session's TPDU into radio bursts: burst 0
