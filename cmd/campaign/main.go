@@ -21,16 +21,31 @@
 //	campaign -sweep -scenarios baseline,harden-email
 //	campaign -sweep -scenario-file sweep.json  # declarative scenario list
 //	campaign -json                             # machine-readable summary
+//
+// Durable runs and multi-process sharding:
+//
+//	campaign -checkpoint-dir ck                # journaled; rerun to resume
+//	campaign -checkpoint-dir ck -shard-range 0/2   # process 1 of 2
+//	campaign -checkpoint-dir ck -shard-range 1/2   # process 2 of 2
+//	campaign -checkpoint-dir ck -merge         # combine the partials
+//
+// An injected crash (-fault-crash, the recovery-test harness) exits
+// with status 137, the same code a real kill -9 yields.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/actfort/actfort/internal/campaign"
+	"github.com/actfort/actfort/internal/faultinject"
 	"github.com/actfort/actfort/internal/population"
 	"github.com/actfort/actfort/internal/report"
 )
@@ -64,6 +79,21 @@ func main() {
 		sweep        = flag.Bool("sweep", false, "run a comparative scenario sweep over one shared population")
 		scenarios    = flag.String("scenarios", "", "with -sweep: comma-separated built-in scenario names (empty = baseline,fortified,a53-mix)")
 		scenarioFile = flag.String("scenario-file", "", "with -sweep: JSON file holding the scenario list (overrides -scenarios)")
+
+		// Durability and multi-process sharding.
+		ckptDir       = flag.String("checkpoint-dir", "", "journal completed shards under this directory; rerunning resumes from the last journaled shard")
+		snapshotEvery = flag.Int("snapshot-every", 0, "journaled shards between snapshot folds (0 = 64)")
+		shardRange    = flag.String("shard-range", "", "own shard range K/M of a multi-process run (e.g. 0/2 and 1/2); requires -checkpoint-dir")
+		merge         = flag.Bool("merge", false, "combine the range-*/summary.json partials under -checkpoint-dir instead of running")
+
+		// Fault injection (the crash-recovery test harness) and retry.
+		faultCrash     = flag.String("fault-crash", "", "injected crash spec: comma-separated point:hit pairs (points: journal.append, snapshot.write, snapshot.rename, journal.truncate)")
+		faultTransient = flag.Float64("fault-transient", 0, "per-shard transient-failure rate in [0, 1)")
+		faultPoison    = flag.String("fault-poison", "", "comma-separated shard indices that fail every attempt (quarantined)")
+		faultSeed      = flag.Uint64("fault-seed", 1, "seed keying the transient-failure schedule")
+		shardAttempts  = flag.Int("shard-attempts", 0, "attempts per failing shard before quarantine (0 = 3)")
+		retryBackoff   = flag.Duration("retry-backoff", 0, "base delay before a shard retry, doubling per attempt (0 = none)")
+		retryMax       = flag.Duration("retry-backoff-max", time.Second, "retry delay cap")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -106,8 +136,18 @@ func main() {
 			Segment: campaign.VictimSegment{Domain: *segDomain, LeakTier: *segLeak},
 		},
 		sweep: *sweep, scenarios: *scenarios, scenarioFile: *scenarioFile,
+		ckptDir: *ckptDir, snapshotEvery: *snapshotEvery, shardRange: *shardRange, merge: *merge,
+		faultCrash: *faultCrash, faultTransient: *faultTransient,
+		faultPoison: *faultPoison, faultSeed: *faultSeed,
+		shardAttempts: *shardAttempts, retryBackoff: *retryBackoff, retryMax: *retryMax,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
+		if errors.Is(err, faultinject.ErrCrash) {
+			// The injected crash stands in for a kill -9; exit the way
+			// one would so crash-recovery harnesses can't tell them
+			// apart.
+			os.Exit(137)
+		}
 		os.Exit(1)
 	}
 }
@@ -122,6 +162,97 @@ type runCfg struct {
 	sweep                                         bool
 	scenarios                                     string
 	scenarioFile                                  string
+
+	ckptDir        string
+	snapshotEvery  int
+	shardRange     string
+	merge          bool
+	faultCrash     string
+	faultTransient float64
+	faultPoison    string
+	faultSeed      uint64
+	shardAttempts  int
+	retryBackoff   time.Duration
+	retryMax       time.Duration
+}
+
+// parseShardRange parses "K/M" into the process index and count.
+func parseShardRange(spec string) (k, m int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &m); err != nil {
+		return 0, 0, fmt.Errorf("shard range %q: want K/M (e.g. 0/2)", spec)
+	}
+	if m <= 0 || k < 0 || k >= m {
+		return 0, 0, fmt.Errorf("shard range %q: want 0 <= K < M", spec)
+	}
+	return k, m, nil
+}
+
+// faultInjector builds the optional crash/fault harness from the CLI
+// flags (nil when no fault flags were used).
+func faultInjector(c runCfg) (*faultinject.Injector, error) {
+	if c.faultCrash == "" && c.faultTransient == 0 && c.faultPoison == "" {
+		return nil, nil
+	}
+	crash, err := faultinject.ParseCrash(c.faultCrash)
+	if err != nil {
+		return nil, err
+	}
+	poisoned, err := faultinject.ParseShardList(c.faultPoison)
+	if err != nil {
+		return nil, err
+	}
+	return faultinject.New(faultinject.Config{
+		Seed:          c.faultSeed,
+		Crash:         crash,
+		TransientRate: c.faultTransient,
+		Poisoned:      poisoned,
+	})
+}
+
+// runMerge combines the per-range partial results under the checkpoint
+// directory into the whole-population summary.
+func runMerge(c runCfg) error {
+	if c.ckptDir == "" {
+		return fmt.Errorf("-merge requires -checkpoint-dir")
+	}
+	dirs, err := filepath.Glob(filepath.Join(c.ckptDir, "range-*-of-*"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return fmt.Errorf("no range-*-of-* checkpoint directories under %s (did the shard-range runs complete?)", c.ckptDir)
+	}
+	parts := make([]*campaign.Partial, 0, len(dirs))
+	for _, d := range dirs {
+		p, err := campaign.LoadPartial(d)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, p)
+	}
+	merged, err := campaign.MergePartials(parts)
+	if err != nil {
+		return err
+	}
+	if c.jsonOut {
+		return report.WriteJSON(os.Stdout, merged)
+	}
+	// The manifest pins the population inputs, so the service-name
+	// table can be rebuilt without re-running anything.
+	m := parts[0].Manifest
+	pop, err := population.New(population.Config{
+		Seed:            m.PopulationSeed,
+		Size:            m.PopulationSize,
+		ShardSize:       m.ShardSize,
+		LeakFraction:    m.LeakFraction,
+		EnrollmentScale: m.EnrollmentScale,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(merged.Render(pop.Services(), c.top))
+	return nil
 }
 
 // sweepList resolves the -sweep scenario selection.
@@ -154,6 +285,9 @@ func sweepList(c runCfg) ([]campaign.Scenario, error) {
 }
 
 func run(c runCfg) error {
+	if c.merge {
+		return runMerge(c)
+	}
 	pop, err := population.New(population.Config{
 		Seed:         c.seed,
 		Size:         c.subscribers,
@@ -176,12 +310,46 @@ func run(c runCfg) error {
 		}
 	}
 
+	fault, err := faultInjector(c)
+	if err != nil {
+		return err
+	}
 	cfg := campaign.Config{
-		Population: pop,
-		Workers:    c.workers,
-		Backend:    c.backend,
-		KeyBits:    c.keyBits,
-		Progress:   progress,
+		Population:       pop,
+		Workers:          c.workers,
+		Backend:          c.backend,
+		KeyBits:          c.keyBits,
+		Progress:         progress,
+		MaxShardAttempts: c.shardAttempts,
+		RetryBackoff:     c.retryBackoff,
+		RetryBackoffMax:  c.retryMax,
+		Fault:            fault,
+	}
+	rangeK, rangeM := 0, 1
+	cfg.ShardHi = pop.NumShards()
+	if c.shardRange != "" {
+		if c.ckptDir == "" {
+			return fmt.Errorf("-shard-range requires -checkpoint-dir (the partial result must land somewhere mergeable)")
+		}
+		rangeK, rangeM, err = parseShardRange(c.shardRange)
+		if err != nil {
+			return err
+		}
+		num := pop.NumShards()
+		if rangeM > num {
+			return fmt.Errorf("shard range %s: only %d shards to split", c.shardRange, num)
+		}
+		cfg.ShardLo = rangeK * num / rangeM
+		cfg.ShardHi = (rangeK + 1) * num / rangeM
+	}
+	if c.ckptDir != "" {
+		// Each process owns its own journal: range-K-of-M under the
+		// shared checkpoint root (range-0-of-1 for single-process runs),
+		// which is exactly the layout -merge globs.
+		cfg.Checkpoint = &campaign.Checkpoint{
+			Dir:           filepath.Join(c.ckptDir, fmt.Sprintf("range-%d-of-%d", rangeK, rangeM)),
+			SnapshotEvery: c.snapshotEvery,
+		}
 	}
 	if !c.sweep {
 		cfg.Scenario = c.scenario
@@ -193,6 +361,10 @@ func run(c runCfg) error {
 	if !c.quiet {
 		fmt.Fprintf(os.Stderr, "campaign: %d subscribers, %d shards, backend %s\n",
 			pop.Size(), pop.NumShards(), eng.Cracker().Name())
+		if cfg.Checkpoint != nil {
+			fmt.Fprintf(os.Stderr, "campaign: checkpointing shards [%d, %d) to %s\n",
+				cfg.ShardLo, cfg.ShardHi, cfg.Checkpoint.Dir)
+		}
 	}
 
 	if c.sweep {

@@ -2,10 +2,13 @@ package a51
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"sort"
@@ -276,6 +279,22 @@ func (t *Table) fingerprint(x uint64, frame uint32) uint64 {
 // Name implements Cracker.
 func (t *Table) Name() string { return "table" }
 
+// Identity digests the table's full geometry — key space, chain
+// length and covered frame set — into one string. Campaign checkpoints
+// pin it in the run manifest: resuming a journal against a different
+// table would change crack outcomes mid-run, so the manifest must
+// refuse it loudly.
+func (t *Table) Identity() string {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, f := range t.Frames() {
+		binary.LittleEndian.PutUint32(b[:], f)
+		_, _ = h.Write(b[:])
+	}
+	return fmt.Sprintf("table/base=%#x/bits=%d/chainlen=%d/frames=%d:%016x",
+		t.space.Base, t.space.Bits, t.chainLen, len(t.frames), h.Sum64())
+}
+
 // Space returns the key space the table was built for.
 func (t *Table) Space() KeySpace { return t.space }
 
@@ -363,19 +382,44 @@ func (t *Table) Recover(ctx context.Context, keystream []byte, frame uint32, spa
 
 // --- serialization (the "ship the tables" step of the real attack) ---
 
-// tableMagic versions the on-disk format.
-var tableMagic = [8]byte{'A', '5', '1', 'T', 'M', 'T', 'O', '1'}
+// tableMagic versions the on-disk format: v2 seals the body behind a
+// length prefix and a CRC32C, so a truncated download or a bit-flipped
+// disk block fails loudly at load instead of replaying garbage chains.
+var tableMagic = [8]byte{'A', '5', '1', 'T', 'M', 'T', 'O', '2'}
+
+// tableMagicV1 is the unsealed pre-checksum format, recognized only to
+// reject it with a clear message.
+var tableMagicV1 = [8]byte{'A', '5', '1', 'T', 'M', 'T', 'O', '1'}
+
+// maxTableBody caps the declared body length (a 24-bit space at the
+// densest chain geometry stays far below it); anything larger is a
+// corrupt header, not an allocation request.
+const maxTableBody = 1 << 32
+
+// ErrTableCorrupt reports a table file that failed structural
+// validation: truncated, checksum mismatch, or fields outside the key
+// space they claim to cover.
+var ErrTableCorrupt = errors.New("a51: corrupt TMTO table file")
+
+// tableCRC is the Castagnoli polynomial sealing the body.
+var tableCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Save writes the table in a flat binary format, so a precomputed
 // trade-off can be distributed and reloaded (LoadTable) instead of
-// rebuilt — the analogue of downloading the Kraken table set.
+// rebuilt — the analogue of downloading the Kraken table set. Layout:
+// magic, little-endian u64 body length, body, CRC32C(body).
 func (t *Table) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(tableMagic[:]); err != nil {
-		return err
+	var body bytes.Buffer
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		body.Write(b[:])
 	}
-	putU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
-	putU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		body.Write(b[:])
+	}
 	putU64(t.space.Base)
 	putU32(uint32(t.space.Bits))
 	putU64(t.chainLen)
@@ -411,75 +455,197 @@ func (t *Table) Save(w io.Writer) error {
 			}
 		}
 	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(tableMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(body.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body.Bytes()); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(body.Bytes(), tableCRC))
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// LoadTable reads a table Save wrote.
+// tableReader walks a validated table body with sticky, positioned
+// errors.
+type tableReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *tableReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: at byte %d: %s", ErrTableCorrupt, r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *tableReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("truncated (need 8 bytes, %d left)", len(r.data)-r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *tableReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.data) {
+		r.fail("truncated (need 4 bytes, %d left)", len(r.data)-r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+// need pre-checks that count items of size bytes each fit in the
+// remaining body, so a corrupt count fails with a clear message
+// instead of a slow byte-by-byte EOF walk.
+func (r *tableReader) need(count uint32, size int, what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if int64(count)*int64(size) > int64(len(r.data)-r.off) {
+		r.fail("%s count %d exceeds remaining %d bytes", what, count, len(r.data)-r.off)
+		return false
+	}
+	return true
+}
+
+// LoadTable reads a table Save wrote, validating the length prefix,
+// the body checksum and every structural field — chain starts,
+// lengths, overflow keys and fingerprints must all lie inside the key
+// space and walk bounds the header declares. Corruption of any kind
+// returns an error wrapping ErrTableCorrupt; no partially built table
+// ever escapes.
 func LoadTable(r io.Reader) (*Table, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("a51: reading table header: %w", err)
 	}
+	if magic == tableMagicV1 {
+		return nil, errors.New("a51: v1 TMTO table file (no integrity seal); rebuild and re-save the table")
+	}
 	if magic != tableMagic {
 		return nil, errors.New("a51: not an A5/1 TMTO table file")
 	}
-	var err error
-	getU64 := func() (v uint64) {
-		if err == nil {
-			err = binary.Read(br, binary.LittleEndian, &v)
-		}
-		return v
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading body length: %v", ErrTableCorrupt, err)
 	}
-	getU32 := func() (v uint32) {
-		if err == nil {
-			err = binary.Read(br, binary.LittleEndian, &v)
-		}
-		return v
+	bodyLen := binary.LittleEndian.Uint64(hdr[:])
+	if bodyLen > maxTableBody {
+		return nil, fmt.Errorf("%w: implausible body length %d", ErrTableCorrupt, bodyLen)
 	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("%w: body truncated: %v", ErrTableCorrupt, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum truncated: %v", ErrTableCorrupt, err)
+	}
+	if got := crc32.Checksum(body, tableCRC); got != binary.LittleEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("%w: CRC32C mismatch (file damaged in transit or at rest)", ErrTableCorrupt)
+	}
+
+	tr := &tableReader{data: body}
 	t := &Table{frames: make(map[uint32]*frameTable)}
-	t.space.Base = getU64()
-	t.space.Bits = int(getU32())
-	t.chainLen = getU64()
+	t.space.Base = tr.u64()
+	t.space.Bits = int(tr.u32())
+	t.chainLen = tr.u64()
 	t.maxWalk = int(4 * t.chainLen)
-	if t.space.Bits <= 0 || t.space.Bits > 24 ||
-		t.chainLen == 0 || t.chainLen > 1<<20 || t.chainLen&(t.chainLen-1) != 0 {
-		return nil, errors.New("a51: corrupt table header")
+	if tr.err == nil && (t.space.Bits <= 0 || t.space.Bits > 24 ||
+		t.chainLen == 0 || t.chainLen > 1<<20 || t.chainLen&(t.chainLen-1) != 0) {
+		tr.fail("invalid geometry (bits=%d chainLen=%d)", t.space.Bits, t.chainLen)
 	}
-	nframes := getU32()
-	for i := uint32(0); i < nframes && err == nil; i++ {
-		frame := getU32()
+	var n uint64
+	if tr.err == nil {
+		n = uint64(1) << t.space.Bits
+	}
+	nframes := tr.u32()
+	for i := uint32(0); i < nframes && tr.err == nil; i++ {
+		frame := tr.u32()
+		if _, dup := t.frames[frame]; dup {
+			tr.fail("frame %d listed twice", frame)
+			break
+		}
 		ft := &frameTable{
 			chains:   make(map[uint64][]chainRef),
 			overflow: make(map[uint64][]uint64),
 		}
-		nends := getU32()
-		for j := uint32(0); j < nends && err == nil; j++ {
-			end := getU64()
-			nchains := getU32()
-			// Grow by appending rather than trusting the count for a
-			// single allocation: a corrupt length field then fails on
-			// EOF instead of attempting a multi-gigabyte make().
-			var refs []chainRef
-			for k := uint32(0); k < nchains && err == nil; k++ {
-				refs = append(refs, chainRef{start: getU64(), length: getU32()})
+		nends := tr.u32()
+		for j := uint32(0); j < nends && tr.err == nil; j++ {
+			end := tr.u64()
+			if tr.err == nil && end >= n {
+				tr.fail("chain endpoint %#x outside %d-bit space", end, t.space.Bits)
+				break
+			}
+			nchains := tr.u32()
+			if !tr.need(nchains, 12, "chain") {
+				break
+			}
+			refs := make([]chainRef, 0, nchains)
+			for k := uint32(0); k < nchains && tr.err == nil; k++ {
+				ref := chainRef{start: tr.u64(), length: tr.u32()}
+				if tr.err != nil {
+					break
+				}
+				if ref.start >= n || ref.length == 0 || int(ref.length) > t.maxWalk {
+					tr.fail("chain (start=%#x len=%d) outside space/walk bounds", ref.start, ref.length)
+					break
+				}
+				refs = append(refs, ref)
 			}
 			ft.chains[end] = refs
 		}
-		nfps := getU32()
-		for j := uint32(0); j < nfps && err == nil; j++ {
-			fp := getU64()
-			nkeys := getU32()
-			var keys []uint64
-			for k := uint32(0); k < nkeys && err == nil; k++ {
-				keys = append(keys, getU64())
+		nfps := tr.u32()
+		for j := uint32(0); j < nfps && tr.err == nil; j++ {
+			fp := tr.u64()
+			if tr.err == nil && fp >= 1<<tableFPBits {
+				tr.fail("overflow fingerprint %#x wider than %d bits", fp, tableFPBits)
+				break
+			}
+			nkeys := tr.u32()
+			if !tr.need(nkeys, 8, "overflow key") {
+				break
+			}
+			keys := make([]uint64, 0, nkeys)
+			for k := uint32(0); k < nkeys && tr.err == nil; k++ {
+				x := tr.u64()
+				if tr.err == nil && x >= n {
+					tr.fail("overflow key index %#x outside %d-bit space", x, t.space.Bits)
+					break
+				}
+				keys = append(keys, x)
 			}
 			ft.overflow[fp] = keys
 		}
 		t.frames[frame] = ft
 	}
-	if err != nil {
-		return nil, fmt.Errorf("a51: reading table: %w", err)
+	if tr.err == nil && tr.off != len(body) {
+		tr.fail("%d trailing bytes after last frame", len(body)-tr.off)
+	}
+	if tr.err != nil {
+		return nil, tr.err
 	}
 	return t, nil
 }

@@ -42,6 +42,7 @@ package campaign
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -52,6 +53,7 @@ import (
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/countermeasure"
 	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/faultinject"
 	"github.com/actfort/actfort/internal/gsmcodec"
 	"github.com/actfort/actfort/internal/population"
 	"github.com/actfort/actfort/internal/sniffer"
@@ -93,6 +95,29 @@ type Config struct {
 	// Progress, when non-nil, receives (subscribersDone, total) after
 	// every merged shard of the scenario currently running.
 	Progress func(done, total int)
+
+	// Checkpoint, when non-nil, makes runs durable: every completed
+	// shard is journaled, periodic snapshots fold the journal away, and
+	// a rerun over the same directory resumes from the last journaled
+	// shard instead of starting over. Nil keeps runs in-memory only.
+	Checkpoint *Checkpoint
+	// ShardLo and ShardHi bound the contiguous shard range
+	// [ShardLo, ShardHi) this engine owns — the multi-process split:
+	// each process takes a disjoint range and its own checkpoint
+	// directory, and MergePartials combines the results. Both zero =
+	// the whole population.
+	ShardLo, ShardHi int
+	// MaxShardAttempts bounds how many times a failing shard is
+	// attempted before quarantine (0 = 3). Only injected or I/O shard
+	// failures retry; shard computation itself is deterministic.
+	MaxShardAttempts int
+	// RetryBackoff is the base delay before a shard retry, doubling per
+	// attempt and capped at RetryBackoffMax (0 = no delay).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Fault injects deterministic crashes and shard failures into the
+	// run — the recovery-path test harness (nil = no faults).
+	Fault *faultinject.Injector
 }
 
 // Engine owns the shared campaign state. Build with New, execute one
@@ -140,6 +165,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.KeyBits <= 0 {
 		cfg.KeyBits = 12
+	}
+	if cfg.MaxShardAttempts <= 0 {
+		cfg.MaxShardAttempts = 3
+	}
+	num := cfg.Population.NumShards()
+	if cfg.ShardLo == 0 && cfg.ShardHi == 0 {
+		cfg.ShardHi = num
+	}
+	if cfg.ShardLo < 0 || cfg.ShardHi > num || cfg.ShardLo >= cfg.ShardHi {
+		return nil, fmt.Errorf("campaign: shard range [%d, %d) invalid for %d shards",
+			cfg.ShardLo, cfg.ShardHi, num)
 	}
 	e := &Engine{
 		cfg:       cfg,
@@ -270,10 +306,21 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 }
 
 // RunScenario executes one scenario: harvest the leak databases, then
-// attack every shard through the worker pool, streaming partial
+// attack every owned shard through the worker pool, streaming partial
 // summaries into one aggregate. The returned Summary is deterministic
-// for a fixed config apart from Duration/VictimsPerSec.
+// for a fixed config apart from Duration/VictimsPerSec — including
+// across kill-and-resume boundaries when a Checkpoint is configured.
 func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error) {
+	dir := ""
+	if e.cfg.Checkpoint != nil {
+		dir = e.cfg.Checkpoint.Dir
+	}
+	return e.runScenario(ctx, sc, dir)
+}
+
+// runScenario is RunScenario with an explicit checkpoint directory, so
+// a sweep can give each scenario its own subdirectory.
+func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Summary, error) {
 	start := time.Now()
 	norm, err := sc.normalize(0)
 	if err != nil {
@@ -287,18 +334,35 @@ func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error)
 	if err != nil {
 		return nil, err
 	}
-	sum, err := e.attack(ctx, rt, plan)
+	var ck *ckptRun
+	if dir != "" {
+		ck, err = e.openCheckpoint(dir, norm)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.j.Close()
+	}
+	sum, err := e.attack(ctx, rt, plan, ck)
 	if err != nil {
 		return nil, err
 	}
 	sum.Scenario = norm.Name
 	sum.Policy = norm.Policy
-	sum.LeakRecords = int64(e.leaks.Len())
 	sum.Backend = e.cracker.Name()
 	sum.Workers = e.cfg.Workers
+	sum.recomputeCoverage()
 	sum.Duration = time.Since(start)
 	if secs := sum.Duration.Seconds(); secs > 0 {
 		sum.VictimsPerSec = float64(sum.Subscribers) / secs
+	}
+	if ck != nil {
+		payload, err := json.Marshal(sum)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: encode final summary: %w", err)
+		}
+		if err := ck.j.WriteResult(payload); err != nil {
+			return nil, err
+		}
 	}
 	return sum, nil
 }
@@ -373,13 +437,26 @@ func (rt *runtimeScenario) targets(sub *population.Subscriber) bool {
 	return true
 }
 
-// attack streams every shard through the worker pool and aggregates
-// the partial summaries.
-func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPlan) (*Summary, error) {
+// shardResult pairs a completed shard with its partial summary so the
+// aggregator can journal it under the right index.
+type shardResult struct {
+	shard int
+	part  *Summary
+}
+
+// attack streams every owned, not-yet-journaled shard through the
+// worker pool and aggregates the partial summaries. With a checkpoint,
+// the aggregator (the journal's single owner) appends each merged part
+// and folds periodic snapshots; a journal failure — including an
+// injected crash — cancels the run and drains the pool so no worker
+// goroutine outlives the call.
+func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPlan, ck *ckptRun) (*Summary, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	pop := e.cfg.Population
 	numServices := len(pop.Services())
 	shards := make(chan int)
-	parts := make(chan *Summary, e.cfg.Workers)
+	parts := make(chan shardResult, e.cfg.Workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
@@ -396,41 +473,143 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 				Seed:     pop.Seed(),
 			})
 			for i := range shards {
-				part := e.attackShard(pop.Shard(i), net, scr, rt, plan)
+				part := e.runShard(ctx, i, net, scr, rt, plan)
+				if part == nil {
+					return // canceled mid-retry
+				}
 				select {
-				case parts <- part:
+				case parts <- shardResult{shard: i, part: part}:
 				case <-ctx.Done():
 					return
 				}
 			}
 		}()
 	}
+	var skip []bool
+	if ck != nil {
+		skip = ck.done
+	}
 	feedErr := make(chan error, 1)
 	go func() {
-		feedErr <- feedShards(ctx, shards, pop.NumShards())
+		feedErr <- feedShards(ctx, shards, e.cfg.ShardLo, e.cfg.ShardHi, skip)
 		wg.Wait()
 		close(parts)
 	}()
 
 	sum := newSummary(numServices)
-	done := 0
-	for part := range parts {
-		done += int(part.Subscribers)
-		sum.Merge(part)
+	if ck != nil {
+		sum = ck.seed
+	}
+	progress := func() {
 		if e.cfg.Progress != nil {
-			e.cfg.Progress(done, pop.Size())
+			e.cfg.Progress(int(sum.Subscribers+sum.SubscribersSkipped), pop.Size())
 		}
 	}
-	if err := <-feedErr; err != nil {
-		return nil, err
+	if sum.Subscribers+sum.SubscribersSkipped > 0 {
+		progress() // resumed shards count as done up front
+	}
+	var runErr error
+	for res := range parts {
+		if runErr != nil {
+			continue // draining after failure so the pool can exit
+		}
+		sum.Merge(res.part)
+		progress()
+		if ck == nil {
+			continue
+		}
+		if err := journalShard(ck, res.shard, res.part, sum); err != nil {
+			runErr = err
+			cancel()
+		}
+	}
+	ferr := <-feedErr
+	if runErr != nil {
+		return nil, runErr
+	}
+	if ferr != nil {
+		return nil, ferr
 	}
 	return sum, nil
 }
 
-// feedShards sends [0, n) on ch, honoring cancellation, and closes it.
-func feedShards(ctx context.Context, ch chan<- int, n int) error {
+// journalShard appends one shard's partial summary and folds a
+// snapshot of the merged state when one is due. An error — including
+// an injected crash — means the run must stop writing immediately.
+func journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
+	payload, err := json.Marshal(part)
+	if err != nil {
+		return fmt.Errorf("campaign: encode shard %d summary: %w", shard, err)
+	}
+	if err := ck.j.Append(shard, payload); err != nil {
+		return err
+	}
+	if !ck.j.Due() {
+		return nil
+	}
+	snap, err := json.Marshal(sum)
+	if err != nil {
+		return fmt.Errorf("campaign: encode snapshot: %w", err)
+	}
+	return ck.j.Snapshot(snap)
+}
+
+// runShard attempts shard i against the fault injector's schedule:
+// transient failures retry with bounded exponential backoff, while a
+// poisoned shard or an exhausted attempt budget degrades to a
+// quarantine summary — the shard's subscribers are counted as skipped
+// and the run continues, reporting an explicit coverage fraction
+// instead of aborting. A nil return means ctx was canceled mid-retry.
+func (e *Engine) runShard(ctx context.Context, i int, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
+	pop := e.cfg.Population
+	for attempt := 0; ; attempt++ {
+		err := e.cfg.Fault.ShardAttempt(i, attempt)
+		if err == nil {
+			return e.attackShard(pop.Shard(i), net, scr, rt, plan)
+		}
+		if faultinject.IsTransient(err) && attempt+1 < e.cfg.MaxShardAttempts {
+			if !sleepCtx(ctx, faultinject.Backoff(e.cfg.RetryBackoff, attempt, e.cfg.RetryBackoffMax)) {
+				return nil
+			}
+			continue
+		}
+		part := newSummary(len(pop.Services()))
+		start, end := pop.ShardBounds(i)
+		part.ShardsQuarantined = 1
+		part.SubscribersSkipped = int64(end - start)
+		return part
+	}
+}
+
+// sleepCtx waits d (or not at all), reporting false when ctx was
+// canceled first — the retry loop's cancellation point.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// feedShards sends the not-yet-done shards of [lo, hi) on ch, honoring
+// cancellation, and closes it.
+func feedShards(ctx context.Context, ch chan<- int, lo, hi int, done []bool) error {
 	defer close(ch)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
+		if done != nil && done[i] {
+			continue // journaled by a previous process; resume skips it
+		}
 		select {
 		case ch <- i:
 		case <-ctx.Done():
@@ -469,6 +648,11 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	if e.harvested[sh.Index].CompareAndSwap(false, true) {
 		e.leaks.Merge(sh.Leaks)
 	}
+	// Per-shard leak accounting (persona phones are unique, so summing
+	// shard store sizes equals the merged DB size): the count lands in
+	// the journaled partial, which keeps resumed and multi-process runs
+	// exact — a global e.leaks.Len() would miss skipped shards.
+	part.LeakRecords = int64(sh.Leaks.Len())
 
 	rig := e.rig(net, rt.sig)
 	defer e.releaseRig(rig, rt.sig)

@@ -69,6 +69,16 @@ type Summary struct {
 	// harvested (index 0 = intercepted but nothing harvested).
 	HarvestHist []int64
 
+	// ShardsQuarantined counts shards abandoned after exhausting their
+	// attempt budget (poisoned or persistently failing);
+	// SubscribersSkipped totals the subscribers those shards covered.
+	// CoverageFraction is processed/(processed+skipped) — 1.0 for a
+	// complete run, explicitly less when the run degraded to a partial
+	// report instead of aborting.
+	ShardsQuarantined  int64
+	SubscribersSkipped int64
+	CoverageFraction   float64
+
 	// Sniffer accumulates every per-shard rig's counters, including
 	// the Kc-reuse cache hits and misses.
 	Sniffer sniffer.Stats
@@ -116,7 +126,22 @@ func (s *Summary) Merge(o *Summary) {
 	for i := range o.HarvestHist {
 		s.HarvestHist[i] += o.HarvestHist[i]
 	}
+	s.ShardsQuarantined += o.ShardsQuarantined
+	s.SubscribersSkipped += o.SubscribersSkipped
 	s.Sniffer.Add(o.Sniffer)
+	s.recomputeCoverage()
+}
+
+// recomputeCoverage derives CoverageFraction from the processed and
+// skipped counts — a pure function of them, so merge order and resume
+// boundaries never change it.
+func (s *Summary) recomputeCoverage() {
+	total := s.Subscribers + s.SubscribersSkipped
+	if total > 0 {
+		s.CoverageFraction = float64(s.Subscribers) / float64(total)
+	} else {
+		s.CoverageFraction = 0
+	}
 }
 
 // pct is a safe percentage.
@@ -146,6 +171,11 @@ func (s *Summary) Render(services []string, top int) string {
 		h.AddRow("countermeasure policy", s.Policy)
 	}
 	h.AddRow("subscribers", comma(s.Subscribers))
+	if s.ShardsQuarantined > 0 {
+		h.AddRow("shards quarantined", comma(s.ShardsQuarantined))
+		h.AddRow("subscribers skipped", comma(s.SubscribersSkipped))
+		h.AddRow("population coverage", report.Pct(100*s.CoverageFraction))
+	}
 	if s.Targeted != s.Subscribers {
 		h.AddRow("targeted segment", fmt.Sprintf("%s (%s)", comma(s.Targeted), report.Pct(pct(s.Targeted, s.Subscribers))))
 	}

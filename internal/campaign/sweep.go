@@ -2,18 +2,26 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"time"
 
+	"github.com/actfort/actfort/internal/checkpoint"
+	"github.com/actfort/actfort/internal/faultinject"
 	"github.com/actfort/actfort/internal/report"
 )
 
-// ScenarioResult pairs a scenario with its summary.
+// ScenarioResult pairs a scenario with its summary — or, when the
+// scenario failed at runtime, with the error that stopped it. A sweep
+// records the error and keeps going: one misconfigured scenario must
+// not cost the hours the others already ran.
 type ScenarioResult struct {
 	Scenario Scenario `json:"scenario"`
-	Summary  *Summary `json:"summary"`
+	Summary  *Summary `json:"summary,omitempty"`
+	Error    string   `json:"error,omitempty"`
 }
 
 // SweepSummary is the comparative output of RunSweep: one result per
@@ -34,13 +42,15 @@ type SweepSummary struct {
 	Duration time.Duration `json:"duration"`
 }
 
-// Baseline returns the first scenario's summary (nil for an empty
-// sweep).
+// Baseline returns the first completed scenario's summary (nil when
+// every scenario errored or the sweep is empty).
 func (s *SweepSummary) Baseline() *Summary {
-	if len(s.Results) == 0 {
-		return nil
+	for _, r := range s.Results {
+		if r.Summary != nil {
+			return r.Summary
+		}
 	}
-	return s.Results[0].Summary
+	return nil
 }
 
 // RunSweep executes the scenarios in order against the engine's shared
@@ -72,9 +82,22 @@ func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSumm
 		Results:     make([]ScenarioResult, 0, len(norm)),
 	}
 	for _, sc := range norm {
-		sum, err := e.RunScenario(ctx, sc)
+		dir := ""
+		if e.cfg.Checkpoint != nil {
+			dir = filepath.Join(e.cfg.Checkpoint.Dir, sc.Name)
+		}
+		sum, err := e.runScenario(ctx, sc, dir)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: scenario %s: %w", sc.Name, err)
+			// Environmental failures abort the whole sweep: a canceled
+			// context, an injected crash (treated as process death) or a
+			// checkpoint directory whose inputs changed. Anything else is
+			// scenario-local — record it and keep the sweep's other
+			// results.
+			if ctx.Err() != nil || errors.Is(err, faultinject.ErrCrash) || errors.Is(err, checkpoint.ErrManifestMismatch) {
+				return nil, fmt.Errorf("campaign: scenario %s: %w", sc.Name, err)
+			}
+			sw.Results = append(sw.Results, ScenarioResult{Scenario: sc, Error: err.Error()})
+			continue
 		}
 		sw.Results = append(sw.Results, ScenarioResult{Scenario: sc, Summary: sum})
 	}
@@ -126,19 +149,27 @@ func (s *SweepSummary) Render(services []string, top int) string {
 	}
 	text := out.String() + "\n"
 
+	baseName := "-"
+	if base != nil {
+		baseName = base.Scenario
+	}
 	cmp := &report.Table{
-		Title: fmt.Sprintf("Takeover mass by scenario (baseline: %q)", base.Scenario),
+		Title: fmt.Sprintf("Takeover mass by scenario (baseline: %q)", baseName),
 		Headers: []string{"scenario", "policy", "targeted", "intercepted",
 			"victims lost", "accounts lost", "Δ accounts vs baseline"},
 	}
-	for i, r := range s.Results {
+	for _, r := range s.Results {
+		if r.Error != "" {
+			cmp.AddRow(r.Scenario.Name, "-", "-", "-", "-", "-", "ERROR: "+r.Error)
+			continue
+		}
 		sum := r.Summary
 		pol := sum.Policy
 		if pol == "" {
 			pol = "none"
 		}
 		d := "baseline"
-		if i > 0 {
+		if sum != base {
 			d = delta(base.AccountsCompromised, sum.AccountsCompromised)
 		}
 		cmp.AddRow(sum.Scenario, pol, comma(sum.Targeted), comma(sum.Intercepted),
@@ -146,7 +177,9 @@ func (s *SweepSummary) Render(services []string, top int) string {
 			comma(sum.AccountsCompromised), d)
 	}
 	text += cmp.String() + "\n"
-	text += s.serviceDeltas(services, top).String()
+	if base != nil {
+		text += s.serviceDeltas(services, top).String()
+	}
 	return text
 }
 
@@ -179,7 +212,7 @@ func (s *SweepSummary) serviceDeltas(services []string, top int) *report.Table {
 	}
 	headers := []string{"service"}
 	for _, r := range s.Results {
-		headers = append(headers, r.Summary.Scenario)
+		headers = append(headers, r.Scenario.Name)
 	}
 	t := &report.Table{
 		Title:   fmt.Sprintf("Per-service takeovers — top %d baseline services across scenarios", len(rows)),
@@ -187,13 +220,17 @@ func (s *SweepSummary) serviceDeltas(services []string, top int) *report.Table {
 	}
 	for _, r := range rows {
 		cells := []string{serviceName(services, r.idx)}
-		for i, res := range s.Results {
+		for _, res := range s.Results {
+			if res.Summary == nil {
+				cells = append(cells, "-")
+				continue
+			}
 			c := int64(0)
 			if r.idx < len(res.Summary.ServiceTakeovers) {
 				c = res.Summary.ServiceTakeovers[r.idx]
 			}
 			cell := comma(c)
-			if i > 0 && r.count > 0 {
+			if res.Summary != base && r.count > 0 {
 				cell += fmt.Sprintf(" (%+.1f%%)", 100*float64(c-r.count)/float64(r.count))
 			}
 			cells = append(cells, cell)

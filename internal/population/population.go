@@ -160,6 +160,16 @@ func (p *Population) Size() int { return p.cfg.Size }
 // telecom substrate so synthesized Kc values are reproducible).
 func (p *Population) Seed() int64 { return p.cfg.Seed }
 
+// ShardSize returns the resolved per-shard subscriber count.
+func (p *Population) ShardSize() int { return p.cfg.ShardSize }
+
+// LeakFraction returns the resolved leak fraction (negative = nobody
+// leaked); campaign checkpoints pin it in the run manifest.
+func (p *Population) LeakFraction() float64 { return p.cfg.LeakFraction }
+
+// EnrollmentScale returns the resolved adoption multiplier.
+func (p *Population) EnrollmentScale() float64 { return p.cfg.EnrollmentScale }
+
 // Catalog returns the ecosystem catalog enrollments refer to.
 func (p *Population) Catalog() *ecosys.Catalog { return p.catalog }
 
