@@ -39,13 +39,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/actfort/actfort/internal/campaign"
 	"github.com/actfort/actfort/internal/faultinject"
+	"github.com/actfort/actfort/internal/obs"
 	"github.com/actfort/actfort/internal/population"
 	"github.com/actfort/actfort/internal/report"
 )
@@ -94,6 +97,13 @@ func main() {
 		shardAttempts  = flag.Int("shard-attempts", 0, "attempts per failing shard before quarantine (0 = 3)")
 		retryBackoff   = flag.Duration("retry-backoff", 0, "base delay before a shard retry, doubling per attempt (0 = none)")
 		retryMax       = flag.Duration("retry-backoff-max", time.Second, "retry delay cap")
+
+		// Observability.
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+		traceFile   = flag.String("trace-file", "", "append the shard-lifecycle event trace to this JSONL file")
+		liveTicker  = flag.Bool("progress", false, "print a live one-line status ticker (shards, victims/s, coverage, ETA) from the metrics registry")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -120,7 +130,12 @@ func main() {
 			*receivers = -1
 		}
 	})
-	if err := run(runCfg{
+	prof, err := obs.StartProfiler(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+	err = run(runCfg{
 		subscribers: *subscribers, shardSize: *shardSize, workers: *workers,
 		seed: *seed, backend: *backend, keyBits: *keyBits, leak: *leak,
 		top: *top, quiet: *quiet, jsonOut: *jsonOut,
@@ -140,7 +155,14 @@ func main() {
 		faultCrash: *faultCrash, faultTransient: *faultTransient,
 		faultPoison: *faultPoison, faultSeed: *faultSeed,
 		shardAttempts: *shardAttempts, retryBackoff: *retryBackoff, retryMax: *retryMax,
-	}); err != nil {
+		metricsAddr: *metricsAddr, traceFile: *traceFile, liveTicker: *liveTicker,
+	})
+	// Flush profiles before any exit path — including the injected-crash
+	// one, which is precisely the run a profile is usually wanted from.
+	if perr := prof.Stop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", perr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		if errors.Is(err, faultinject.ErrCrash) {
 			// The injected crash stands in for a kill -9; exit the way
@@ -174,6 +196,10 @@ type runCfg struct {
 	shardAttempts  int
 	retryBackoff   time.Duration
 	retryMax       time.Duration
+
+	metricsAddr string
+	traceFile   string
+	liveTicker  bool
 }
 
 // parseShardRange parses "K/M" into the process index and count.
@@ -284,9 +310,62 @@ func sweepList(c runCfg) ([]campaign.Scenario, error) {
 	return out, nil
 }
 
+// startTicker launches the -progress one-line status loop: it reads
+// the run gauges the campaign aggregator maintains on the process-wide
+// registry — the same series a /metrics scrape sees — and stops with
+// ctx.
+func startTicker(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				val := func(name string) float64 {
+					v, _ := obs.Default.Value(name)
+					return v
+				}
+				subsDone := val("campaign_run_subscribers_done")
+				subsTotal := val("campaign_run_subscribers_total")
+				vps := val("campaign_victims_per_sec")
+				eta := "?"
+				if vps > 0 && subsTotal > subsDone {
+					eta = (time.Duration((subsTotal - subsDone) / vps * float64(time.Second))).Round(time.Second).String()
+				}
+				fmt.Fprintf(os.Stderr,
+					"campaign: %.0f/%.0f shards | %.0f/%.0f subscribers | %.0f victims/s | coverage %.3f | ETA %s\n",
+					val("campaign_run_shards_done"), val("campaign_run_shards_total"),
+					subsDone, subsTotal, vps, val("campaign_coverage_fraction"), eta)
+			}
+		}
+	}()
+}
+
 func run(c runCfg) error {
 	if c.merge {
 		return runMerge(c)
+	}
+	// SIGINT/SIGTERM cancel the run instead of killing the process, so
+	// profiles, the trace file and the metrics server unwind cleanly (a
+	// checkpointed run resumes on rerun either way).
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	if c.metricsAddr != "" {
+		obs.Default.PublishExpvar("actfort")
+		obs.Default.StartRuntimePoller(ctx, 0)
+		addr, stopSrv, err := obs.Default.StartServer(ctx, c.metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		if !c.quiet {
+			fmt.Fprintf(os.Stderr, "campaign: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", addr)
+		}
+	}
+	if c.liveTicker {
+		startTicker(ctx)
 	}
 	pop, err := population.New(population.Config{
 		Seed:         c.seed,
@@ -324,6 +403,18 @@ func run(c runCfg) error {
 		RetryBackoff:     c.retryBackoff,
 		RetryBackoffMax:  c.retryMax,
 		Fault:            fault,
+	}
+	if c.traceFile != "" {
+		tw, err := obs.OpenTraceFile(c.traceFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: trace file: %v\n", err)
+			}
+		}()
+		cfg.Trace = tw
 	}
 	rangeK, rangeM := 0, 1
 	cfg.ShardHi = pop.NumShards()
@@ -379,7 +470,7 @@ func run(c runCfg) error {
 			}
 			fmt.Fprintf(os.Stderr, "campaign: sweeping %d scenarios: %s\n", len(list), strings.Join(names, ", "))
 		}
-		sw, err := eng.RunSweep(context.Background(), list)
+		sw, err := eng.RunSweep(ctx, list)
 		if err != nil {
 			return err
 		}
@@ -390,7 +481,7 @@ func run(c runCfg) error {
 		return nil
 	}
 
-	sum, err := eng.Run(context.Background())
+	sum, err := eng.Run(ctx)
 	if err != nil {
 		return err
 	}

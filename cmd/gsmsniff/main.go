@@ -26,21 +26,33 @@ import (
 
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/obs"
 	"github.com/actfort/actfort/internal/sniffer"
 	"github.com/actfort/actfort/internal/telecom"
 )
 
+// prof flushes on every exit path, including fatal's os.Exit.
+var prof *obs.Profiler
+
 func main() {
 	var (
-		receivers = flag.Int("receivers", 16, "receiver (C118) count")
-		victims   = flag.Int("victims", 4, "victims in the cell")
-		filterSrc = flag.String("filter", `sms.text contains "code"`, "display filter")
-		keyBits   = flag.Int("keybits", 12, "A5/1 session-key space bits")
-		backend   = flag.String("backend", "bitsliced", "key-recovery backend: exhaustive|parallel|bitsliced|table")
-		tableFile = flag.String("table-file", "", "with -backend table: load the TMTO table from this file if it exists, else build and save it")
-		chainLen  = flag.Int("chainlen", 0, "with -backend table: distinguished-point chain length (0 = default)")
+		receivers  = flag.Int("receivers", 16, "receiver (C118) count")
+		victims    = flag.Int("victims", 4, "victims in the cell")
+		filterSrc  = flag.String("filter", `sms.text contains "code"`, "display filter")
+		keyBits    = flag.Int("keybits", 12, "A5/1 session-key space bits")
+		backend    = flag.String("backend", "bitsliced", "key-recovery backend: exhaustive|parallel|bitsliced|table")
+		tableFile  = flag.String("table-file", "", "with -backend table: load the TMTO table from this file if it exists, else build and save it")
+		chainLen   = flag.Int("chainlen", 0, "with -backend table: distinguished-point chain length (0 = default)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	if prof, err = obs.StartProfiler(*cpuProfile, *memProfile); err != nil {
+		fatal(err)
+	}
+	defer stopProfiler()
 
 	// telecom.NewNetwork silently substitutes its 16-bit default for
 	// Bits <= 0, which would diverge from the space the cracker was
@@ -198,7 +210,16 @@ func obtainTable(space a51.KeySpace, path string, chainLen int) (*a51.Table, err
 	return table, nil
 }
 
+// stopProfiler flushes any in-progress profiles; nil-safe and
+// idempotent, so both the deferred call and fatal may run it.
+func stopProfiler() {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsmsniff:", err)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gsmsniff:", err)
+	stopProfiler()
 	os.Exit(1)
 }

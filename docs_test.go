@@ -23,6 +23,7 @@ var docFiles = []string{
 	"README.md",
 	"docs/ARCHITECTURE.md",
 	"docs/BENCHMARKS.md",
+	"docs/OBSERVABILITY.md",
 	"cmd/campaign/README.md",
 }
 
@@ -68,6 +69,7 @@ var documentedPackages = []string{
 	"internal/campaign",
 	"internal/population",
 	"internal/countermeasure",
+	"internal/obs",
 }
 
 // TestDocsExportedComments fails on exported identifiers missing doc

@@ -231,6 +231,7 @@ func (t *Table) RecoverBatch(ctx context.Context, samples []Sample, space KeySpa
 			errs[si] = ErrBadKeystream
 			continue
 		}
+		metLookups.Inc()
 		ft := t.frames[s.Frame]
 		if ft == nil {
 			fallback = append(fallback, si)
@@ -256,6 +257,7 @@ func (t *Table) RecoverBatch(ctx context.Context, samples []Sample, space KeySpa
 
 	t.runReplayRounds(ctx, rs, samples, space, n, keys, errs)
 
+	metFallbacks.Add(int64(len(fallback)))
 	for _, si := range fallback {
 		keys[si], errs[si] = t.fallback.Recover(ctx, samples[si].Keystream, samples[si].Frame, space)
 	}
@@ -286,6 +288,8 @@ func (t *Table) runReplayRounds(ctx context.Context, rs *replayScratch, samples 
 				continue
 			}
 			if lk.y&dpMask == 0 {
+				metWalkSteps.Observe(float64(lk.checks))
+				metReplays.Add(int64(len(lk.ft.chains[lk.y])))
 				lk.phase = phaseReplay
 				lk.chains = lk.ft.chains[lk.y]
 				lk.cursorBase = len(rs.cursors)

@@ -322,8 +322,10 @@ func (t *Table) Recover(ctx context.Context, keystream []byte, frame uint32, spa
 		return 0, fmt.Errorf("%w: built for base=%#x bits=%d, asked for base=%#x bits=%d",
 			ErrTableSpaceMismatch, t.space.Base, t.space.Bits, space.Base, space.Bits)
 	}
+	metLookups.Inc()
 	ft := t.frames[frame]
 	if ft == nil {
+		metFallbacks.Inc()
 		return t.fallback.Recover(ctx, keystream, frame, space)
 	}
 	n, _ := space.Size()
@@ -342,6 +344,8 @@ func (t *Table) Recover(ctx context.Context, keystream []byte, frame uint32, spa
 			return 0, err
 		}
 		if y&dpMask == 0 {
+			metWalkSteps.Observe(float64(steps))
+			metReplays.Add(int64(len(ft.chains[y])))
 			// Replay every chain ending at this distinguished point,
 			// comparing fingerprints (one cipher setup per position).
 			// Chains started from different keys share their tails

@@ -55,6 +55,7 @@ import (
 	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/faultinject"
 	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/obs"
 	"github.com/actfort/actfort/internal/population"
 	"github.com/actfort/actfort/internal/sniffer"
 	"github.com/actfort/actfort/internal/socialdb"
@@ -118,6 +119,12 @@ type Config struct {
 	// Fault injects deterministic crashes and shard failures into the
 	// run — the recovery-path test harness (nil = no faults).
 	Fault *faultinject.Injector
+
+	// Trace, when non-nil, receives the shard-lifecycle event stream:
+	// shard_start/done/retry/quarantine per attempt, journal and
+	// snapshot boundaries, run start/done. Events never affect results;
+	// a nil Trace costs nothing (every TraceWriter method is nil-safe).
+	Trace *obs.TraceWriter
 }
 
 // Engine owns the shared campaign state. Build with New, execute one
@@ -282,10 +289,12 @@ func (e *Engine) rig(net *telecom.Network, sig string) *sniffer.Sniffer {
 		r := e.rigFree[n-1]
 		e.rigFree = e.rigFree[:n-1]
 		e.rigMu.Unlock()
+		metRigsReused.Inc()
 		return r
 	}
 	e.rigMu.Unlock()
 	e.rigsBuilt.Add(1)
+	metRigsBuilt.Inc()
 	return sniffer.New(net, sniffer.Config{Cracker: e.cracker, ScalarReplay: e.cfg.ScalarReplay})
 }
 
@@ -322,10 +331,12 @@ func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error)
 // a sweep can give each scenario its own subdirectory.
 func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Summary, error) {
 	start := time.Now()
+	base := takePhaseSnapshot()
 	norm, err := sc.normalize(0)
 	if err != nil {
 		return nil, err
 	}
+	e.cfg.Trace.Emit(obs.TraceEvent{Event: "run_start", Shard: -1, Detail: norm.Name})
 	plan, err := e.plan(norm)
 	if err != nil {
 		return nil, err
@@ -352,9 +363,25 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Sum
 	sum.Workers = e.cfg.Workers
 	sum.recomputeCoverage()
 	sum.Duration = time.Since(start)
-	if secs := sum.Duration.Seconds(); secs > 0 {
+	// Throughput is the cumulative rate: all subscribers ever processed
+	// over all wall clock ever spent, across every process that worked
+	// on this checkpoint directory. The pre-telemetry code divided the
+	// full (resumed + new) victim count by this process's clock alone,
+	// overstating resumed runs' rates by the resumed fraction.
+	sum.ActiveDuration = sum.Duration
+	sum.ResumeVictimsPerSec = 0
+	if ck != nil {
+		sum.ActiveDuration = ck.activePrior + sum.Duration
+		if ck.resumed {
+			if secs := sum.Duration.Seconds(); secs > 0 {
+				sum.ResumeVictimsPerSec = float64(sum.Subscribers-ck.subsPrior) / secs
+			}
+		}
+	}
+	if secs := sum.ActiveDuration.Seconds(); secs > 0 {
 		sum.VictimsPerSec = float64(sum.Subscribers) / secs
 	}
+	sum.PhaseTimings = phaseTimingsSince(base)
 	if ck != nil {
 		payload, err := json.Marshal(sum)
 		if err != nil {
@@ -364,6 +391,8 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Sum
 			return nil, err
 		}
 	}
+	e.cfg.Trace.Emit(obs.TraceEvent{Event: "run_done", Shard: -1, Subscribers: sum.Subscribers})
+	e.cfg.Trace.Flush()
 	return sum, nil
 }
 
@@ -453,6 +482,7 @@ type shardResult struct {
 func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPlan, ck *ckptRun) (*Summary, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	runStart := time.Now()
 	pop := e.cfg.Population
 	numServices := len(pop.Services())
 	shards := make(chan int)
@@ -497,9 +527,29 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 	}()
 
 	sum := newSummary(numServices)
+	shardsDone := 0
 	if ck != nil {
 		sum = ck.seed
+		for _, d := range ck.done {
+			if d {
+				shardsDone++
+			}
+		}
 	}
+	subs0 := sum.Subscribers
+	metRunShardsTotal.Set(float64(e.cfg.ShardHi - e.cfg.ShardLo))
+	metRunSubsTotal.Set(float64(pop.Size()))
+	gauges := func() {
+		metRunShardsDone.Set(float64(shardsDone))
+		metRunSubsDone.Set(float64(sum.Subscribers + sum.SubscribersSkipped))
+		if el := time.Since(runStart).Seconds(); el > 0 {
+			metVictimsPerSec.Set(float64(sum.Subscribers-subs0) / el)
+		}
+		if tot := sum.Subscribers + sum.SubscribersSkipped; tot > 0 {
+			metCoverage.Set(float64(sum.Subscribers) / float64(tot))
+		}
+	}
+	gauges()
 	progress := func() {
 		if e.cfg.Progress != nil {
 			e.cfg.Progress(int(sum.Subscribers+sum.SubscribersSkipped), pop.Size())
@@ -513,15 +563,20 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 		if runErr != nil {
 			continue // draining after failure so the pool can exit
 		}
+		aggStart := time.Now()
 		sum.Merge(res.part)
+		shardsDone++
+		gauges()
 		progress()
-		if ck == nil {
-			continue
+		if ck != nil {
+			if err := e.journalShard(ck, res.shard, res.part, sum); err != nil {
+				runErr = err
+				cancel()
+			} else {
+				metShardsJournaled.Inc()
+			}
 		}
-		if err := journalShard(ck, res.shard, res.part, sum); err != nil {
-			runErr = err
-			cancel()
-		}
+		phaseHists["aggregate"].ObserveSince(aggStart)
 	}
 	ferr := <-feedErr
 	if runErr != nil {
@@ -536,7 +591,10 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 // journalShard appends one shard's partial summary and folds a
 // snapshot of the merged state when one is due. An error — including
 // an injected crash — means the run must stop writing immediately.
-func journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
+// Each snapshot carries the run's cumulative active duration so far,
+// so a resuming process can keep accounting wall clock across the
+// crash boundary instead of restarting the throughput denominator.
+func (e *Engine) journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
 	payload, err := json.Marshal(part)
 	if err != nil {
 		return fmt.Errorf("campaign: encode shard %d summary: %w", shard, err)
@@ -544,14 +602,21 @@ func journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
 	if err := ck.j.Append(shard, payload); err != nil {
 		return err
 	}
+	e.cfg.Trace.Emit(obs.TraceEvent{Event: "journal_append", Shard: shard, Subscribers: part.Subscribers})
 	if !ck.j.Due() {
 		return nil
 	}
+	sum.ActiveDuration = ck.activePrior + time.Since(ck.start)
 	snap, err := json.Marshal(sum)
 	if err != nil {
 		return fmt.Errorf("campaign: encode snapshot: %w", err)
 	}
-	return ck.j.Snapshot(snap)
+	if err := ck.j.Snapshot(snap); err != nil {
+		return err
+	}
+	e.cfg.Trace.Emit(obs.TraceEvent{Event: "snapshot", Shard: -1})
+	e.cfg.Trace.Flush()
+	return nil
 }
 
 // runShard attempts shard i against the fault injector's schedule:
@@ -563,16 +628,24 @@ func journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
 func (e *Engine) runShard(ctx context.Context, i int, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
 	pop := e.cfg.Population
 	for attempt := 0; ; attempt++ {
+		metShardsStarted.Inc()
+		e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_start", Shard: i, Attempt: attempt})
 		err := e.cfg.Fault.ShardAttempt(i, attempt)
 		if err == nil {
-			return e.attackShard(pop.Shard(i), net, scr, rt, plan)
+			part := e.attackShard(pop.Shard(i), net, scr, rt, plan)
+			e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_done", Shard: i, Attempt: attempt, Subscribers: part.Subscribers})
+			return part
 		}
 		if faultinject.IsTransient(err) && attempt+1 < e.cfg.MaxShardAttempts {
+			metShardsRetried.Inc()
+			e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_retry", Shard: i, Attempt: attempt, Detail: err.Error()})
 			if !sleepCtx(ctx, faultinject.Backoff(e.cfg.RetryBackoff, attempt, e.cfg.RetryBackoffMax)) {
 				return nil
 			}
 			continue
 		}
+		metShardsQuarantined.Inc()
+		e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_quarantine", Shard: i, Attempt: attempt, Detail: err.Error()})
 		part := newSummary(len(pop.Services()))
 		start, end := pop.ShardBounds(i)
 		part.ShardsQuarantined = 1
@@ -656,6 +729,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 
 	rig := e.rig(net, rt.sig)
 	defer e.releaseRig(rig, rt.sig)
+	synthStart := time.Now()
 	seed := uint64(e.cfg.Population.Seed())
 	sessions := rt.sessions
 	scr.covered = boolScratch(scr.covered, len(sh.Subscribers))
@@ -740,11 +814,16 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		}
 	}
 	scr.radio = batch // keep the grown buffer for the next shard
+	phaseHists["synth"].ObserveSince(synthStart)
 
 	// Encrypt phase: the whole shard's A5/1 bursts run through the
 	// 64-lane bitsliced encryptor, then the rig hears every burst in
 	// session order (the order the per-session path fed them).
+	encStart := time.Now()
 	if e.cfg.ScalarRadio {
+		// The scalar path interleaves encoding and rig feeding per
+		// session, so the whole loop lands in "encrypt" and "feed"
+		// stays empty — the documented ablation caveat.
 		for i := range batch {
 			bursts, err := telecom.EncodeSMSBursts(batch[i])
 			if err != nil {
@@ -754,6 +833,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 				rig.Feed(b)
 			}
 		}
+		phaseHists["encrypt"].ObserveSince(encStart)
 	} else if len(batch) > 0 {
 		// The flat trace lives in the worker's pooled burst buffer:
 		// FeedBatch copies what it keeps and campaign traffic is
@@ -767,9 +847,13 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 			// break the batch≡scalar Summary contract undetected.
 			panic(fmt.Sprintf("campaign: batch encode of pre-validated sessions failed: %v", err))
 		}
+		phaseHists["encrypt"].ObserveSince(encStart)
+		feedStart := time.Now()
 		rig.FeedBatch(flat)
+		phaseHists["feed"].ObserveSince(feedStart)
 	}
 
+	closureStart := time.Now()
 	// Attribute decoded captures back to victims via session IDs.
 	scr.intercepted = boolScratch(scr.intercepted, len(sh.Subscribers))
 	intercepted := scr.intercepted
@@ -794,6 +878,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		accumulate(plan, scr, part)
 		scr.reset()
 	}
+	phaseHists["closure"].ObserveSince(closureStart)
 	return part
 }
 

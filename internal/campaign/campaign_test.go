@@ -18,6 +18,16 @@ func testPop(t *testing.T, size, shard int) *population.Population {
 	return pop
 }
 
+// zeroClock zeroes every wall-clock-dependent Summary field so fixed-
+// seed runs compare byte for byte.
+func zeroClock(sum *Summary) {
+	sum.Duration = 0
+	sum.VictimsPerSec = 0
+	sum.ActiveDuration = 0
+	sum.ResumeVictimsPerSec = 0
+	sum.PhaseTimings = nil
+}
+
 func runCampaign(t *testing.T, cfg Config) *Summary {
 	t.Helper()
 	eng, err := New(cfg)
@@ -96,8 +106,7 @@ func TestCampaignDeterministic(t *testing.T) {
 		pop := testPop(t, 1500, 256)
 		services = pop.Services()
 		sum := runCampaign(t, Config{Population: pop, KeyBits: 10, Workers: 3})
-		sum.Duration = 0
-		sum.VictimsPerSec = 0
+		zeroClock(sum)
 		summaries[i] = sum
 	}
 	a, b := summaries[0], summaries[1]
@@ -133,8 +142,7 @@ func TestCampaignBatchMatchesScalarRadio(t *testing.T) {
 				Population: pop, KeyBits: 10, Workers: 3,
 				ScalarRadio: scalar, Scenario: sc,
 			})
-			sum.Duration = 0
-			sum.VictimsPerSec = 0
+			zeroClock(sum)
 			rendered[j] = sum.Render(services, 25)
 		}
 		if rendered[0] != rendered[1] {
@@ -167,8 +175,7 @@ func TestCampaignBatchMatchesScalarReplay(t *testing.T) {
 				Population: pop, KeyBits: 10, Workers: 3,
 				ScalarReplay: scalar, Scenario: sc,
 			})
-			sum.Duration = 0
-			sum.VictimsPerSec = 0
+			zeroClock(sum)
 			rendered[j] = sum.Render(services, 25)
 		}
 		if rendered[0] != rendered[1] {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/actfort/actfort/internal/checkpoint"
 	"github.com/actfort/actfort/internal/population"
@@ -83,10 +84,20 @@ func (e *Engine) manifest(norm Scenario) (checkpoint.Manifest, error) {
 // ckptRun is one scenario's open journal plus the state recovered from
 // a previous process: the aggregator seed (snapshot + replayed journal
 // records, already merged) and the done-shard bitmap the feeder skips.
+// The timing fields feed the cumulative-throughput accounting: start
+// anchors this process's contribution, activePrior carries the wall
+// clock earlier processes banked in their snapshots (journal records
+// appended after the last snapshot lose their tail of active time —
+// the cost of not fsyncing a clock on every append), and subsPrior/
+// resumed let the finalizer report a separate post-resume rate.
 type ckptRun struct {
-	j    *checkpoint.Journal
-	seed *Summary
-	done []bool
+	j           *checkpoint.Journal
+	seed        *Summary
+	done        []bool
+	start       time.Time
+	activePrior time.Duration
+	subsPrior   int64
+	resumed     bool
 }
 
 // openCheckpoint opens (or resumes) the scenario's checkpoint
@@ -123,7 +134,15 @@ func (e *Engine) openCheckpoint(dir string, norm Scenario) (*ckptRun, error) {
 		}
 		seed.Merge(part)
 	}
-	return &ckptRun{j: j, seed: seed, done: st.Done}, nil
+	return &ckptRun{
+		j:           j,
+		seed:        seed,
+		done:        st.Done,
+		start:       time.Now(),
+		activePrior: seed.ActiveDuration,
+		subsPrior:   seed.Subscribers,
+		resumed:     st.Snapshot != nil || len(st.Records) > 0,
+	}, nil
 }
 
 // Partial is one completed shard range of a multi-process run: the
@@ -202,5 +221,8 @@ func MergePartials(parts []*Partial) (*Summary, error) {
 	merged.recomputeCoverage()
 	merged.Duration = 0
 	merged.VictimsPerSec = 0
+	merged.ActiveDuration = 0
+	merged.ResumeVictimsPerSec = 0
+	merged.PhaseTimings = nil
 	return merged, nil
 }

@@ -20,8 +20,7 @@ import (
 // fields are zeroed, everything else must match byte for byte.
 func render(t *testing.T, sum *Summary, services []string) string {
 	t.Helper()
-	sum.Duration = 0
-	sum.VictimsPerSec = 0
+	zeroClock(sum)
 	return sum.Render(services, 10)
 }
 

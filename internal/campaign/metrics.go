@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"time"
+
+	"github.com/actfort/actfort/internal/obs"
+)
+
+// Engine telemetry on the process-wide obs registry: shard lifecycle
+// counters, the rig-pool churn the ROADMAP called out, per-phase
+// latency histograms split out of attackShard, and the run-progress
+// gauges the -progress ticker and live scrapes read. Handles are
+// package-level (one engine's shards dominate a process; concurrent
+// engines aggregate, which is the honest process-wide view), and every
+// hot-path touch is an atomic add or a per-shard Observe — a few per
+// shard of thousands of subscribers, unmeasurable next to the shard
+// itself.
+var (
+	metShardsStarted = obs.Default.NewCounter("campaign_shards_started_total",
+		"Shard attack attempts started, counting retries of the same shard separately.")
+	metShardsRetried = obs.Default.NewCounter("campaign_shards_retried_total",
+		"Shard attempts that failed transiently and were retried with backoff.")
+	metShardsQuarantined = obs.Default.NewCounter("campaign_shards_quarantined_total",
+		"Shards abandoned after exhausting their attempt budget; their subscribers count as skipped.")
+	metShardsJournaled = obs.Default.NewCounter("campaign_shards_journaled_total",
+		"Shard results durably appended to the checkpoint journal.")
+	metRigsBuilt = obs.Default.NewCounter("campaign_rigs_built_total",
+		"Sniffer rigs constructed because the pool was dry or the radio environment changed.")
+	metRigsReused = obs.Default.NewCounter("campaign_rigs_reused_total",
+		"Shard attacks served by a pooled rig instead of a fresh build.")
+
+	// Run-progress gauges, reset by each attack() call and updated by
+	// its aggregator as shards merge. The cmd/campaign -progress ticker
+	// renders its one-line status from exactly these series.
+	metRunShardsDone = obs.Default.NewGauge("campaign_run_shards_done",
+		"Shards completed (journaled or merged) in the currently running scenario, including resumed ones.")
+	metRunShardsTotal = obs.Default.NewGauge("campaign_run_shards_total",
+		"Shards owned by the currently running scenario (the engine's shard range).")
+	metRunSubsDone = obs.Default.NewGauge("campaign_run_subscribers_done",
+		"Subscribers processed or skipped so far in the currently running scenario.")
+	metRunSubsTotal = obs.Default.NewGauge("campaign_run_subscribers_total",
+		"Population size of the currently running scenario.")
+	metVictimsPerSec = obs.Default.NewGauge("campaign_victims_per_sec",
+		"Live throughput of the running scenario: subscribers processed by THIS process over its elapsed time.")
+	metCoverage = obs.Default.NewGauge("campaign_coverage_fraction",
+		"Live processed/(processed+skipped) fraction; below 1.0 means quarantined shards degraded coverage.")
+)
+
+// phaseNames are the attackShard stages the campaign_phase_seconds
+// histogram labels — plus "aggregate", the aggregator's merge+journal
+// work per shard. The crack stage lives in the sniffer
+// (sniffer_crack_batch_seconds): key recovery happens inside feed.
+var phaseNames = []string{"synth", "encrypt", "feed", "closure", "aggregate"}
+
+// phaseHists resolves one histogram handle per phase, in phaseNames
+// order.
+var phaseHists = func() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(phaseNames))
+	for _, p := range phaseNames {
+		m[p] = obs.Default.NewHistogram("campaign_phase_seconds",
+			"Per-shard wall time of each attackShard phase (synth=gather, encrypt=batch cipher, feed=rig ingest incl. cracks, closure=chain reactions, aggregate=merge+journal).",
+			obs.LatencyBuckets, obs.L("phase", p))
+	}
+	return m
+}()
+
+// crackHist is the sniffer's batched-crack histogram, resolved here so
+// the per-run phase table can report the crack stage next to the
+// campaign phases. Same registry, same family the sniffer observes
+// into.
+var crackHist = obs.Default.NewHistogram("sniffer_crack_batch_seconds",
+	"Wall time of each batched RecoverAll call FeedBatch prefetches its fresh cracks through.",
+	obs.LatencyBuckets)
+
+// phaseSnapshot captures every phase histogram (and the crack
+// histogram) at one instant; diffing two of them scopes the
+// process-lifetime histograms to a single run.
+type phaseSnapshot map[string]obs.HistSnapshot
+
+// takePhaseSnapshot snapshots all phase histograms.
+func takePhaseSnapshot() phaseSnapshot {
+	s := make(phaseSnapshot, len(phaseNames)+1)
+	for _, p := range phaseNames {
+		s[p] = phaseHists[p].Snapshot()
+	}
+	s["crack"] = crackHist.Snapshot()
+	return s
+}
+
+// phaseTimingsSince builds the Summary's per-phase breakdown from the
+// histogram growth since base, in fixed presentation order.
+func phaseTimingsSince(base phaseSnapshot) []PhaseTiming {
+	now := takePhaseSnapshot()
+	order := []string{"synth", "encrypt", "feed", "crack", "closure", "aggregate"}
+	out := make([]PhaseTiming, 0, len(order))
+	for _, p := range order {
+		d := now[p].Sub(base[p])
+		if d.Count == 0 {
+			continue
+		}
+		out = append(out, PhaseTiming{
+			Phase: p,
+			Count: d.Count,
+			Total: time.Duration(d.Sum * float64(time.Second)),
+			P50:   time.Duration(d.Quantile(0.50) * float64(time.Second)),
+			P90:   time.Duration(d.Quantile(0.90) * float64(time.Second)),
+			P99:   time.Duration(d.Quantile(0.99) * float64(time.Second)),
+		})
+	}
+	return out
+}

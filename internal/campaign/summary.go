@@ -86,9 +86,36 @@ type Summary struct {
 	// Backend names the shared cracker; Workers the pool width.
 	Backend string
 	Workers int
-	// Duration and VictimsPerSec describe the run's wall-clock cost.
-	Duration      time.Duration
-	VictimsPerSec float64
+	// Duration is this process's wall clock for the run; ActiveDuration
+	// is the cumulative active wall clock across every process that
+	// contributed (carried through checkpoint snapshots, so a
+	// kill-and-resume run accumulates rather than resets). On an
+	// uninterrupted run the two are equal.
+	Duration       time.Duration
+	ActiveDuration time.Duration
+	// VictimsPerSec is Subscribers/ActiveDuration — the cumulative
+	// throughput. (It used to divide the full victim count by only the
+	// post-resume wall clock, overstating resumed runs several-fold.)
+	// ResumeVictimsPerSec is the post-resume rate — subscribers
+	// processed by this process over its own Duration — set only when
+	// the run actually resumed prior state.
+	VictimsPerSec       float64
+	ResumeVictimsPerSec float64
+	// PhaseTimings breaks the run's wall clock down by pipeline phase
+	// (per-shard synth/encrypt/feed/closure, the sniffer's batched
+	// cracks, the aggregator) — populated from the obs phase histograms
+	// at the end of each run, wall-clock-dependent like Duration.
+	PhaseTimings []PhaseTiming
+}
+
+// PhaseTiming is one row of the per-phase breakdown: how many times
+// the phase ran, its total wall time across the run, and latency
+// quantiles per execution (histogram-estimated).
+type PhaseTiming struct {
+	Phase         string
+	Count         int64
+	Total         time.Duration
+	P50, P90, P99 time.Duration
 }
 
 // newSummary sizes the per-service and per-field tables.
@@ -194,10 +221,20 @@ func (s *Summary) Render(services []string, top int) string {
 	h.AddRow("workers", strconv.Itoa(s.Workers))
 	if s.Duration > 0 {
 		h.AddRow("duration", s.Duration.Round(time.Millisecond).String())
+		if s.ActiveDuration > s.Duration {
+			h.AddRow("active duration (all processes)", s.ActiveDuration.Round(time.Millisecond).String())
+		}
 		h.AddRow("throughput", fmt.Sprintf("%.0f victims/s", s.VictimsPerSec))
+		if s.ResumeVictimsPerSec > 0 {
+			h.AddRow("post-resume throughput", fmt.Sprintf("%.0f victims/s", s.ResumeVictimsPerSec))
+		}
 	}
 	b.WriteString(h.String())
 	b.WriteString("\n")
+	if s.Duration > 0 && len(s.PhaseTimings) > 0 {
+		b.WriteString(s.phaseTable().String())
+		b.WriteString("\n")
+	}
 
 	depthRows := make([]report.HistRow, 0, MaxDepth)
 	for d := 1; d <= MaxDepth; d++ {
@@ -228,6 +265,20 @@ func (s *Summary) Render(services []string, top int) string {
 	b.WriteString("\n")
 	b.WriteString(s.harvestTable().String())
 	return b.String()
+}
+
+// phaseTable renders the per-phase timing breakdown.
+func (s *Summary) phaseTable() *report.Table {
+	t := &report.Table{
+		Title:   "Per-phase timing (this process; crack runs inside feed)",
+		Headers: []string{"phase", "count", "total", "p50", "p90", "p99"},
+	}
+	for _, p := range s.PhaseTimings {
+		t.AddRow(p.Phase, comma(p.Count), p.Total.Round(time.Microsecond).String(),
+			p.P50.Round(time.Microsecond).String(), p.P90.Round(time.Microsecond).String(),
+			p.P99.Round(time.Microsecond).String())
+	}
+	return t
 }
 
 // topServices ranks services by takeover count.

@@ -23,8 +23,7 @@ func normalizeClock(sw *SweepSummary) {
 	sw.Duration = 0
 	sw.RigsBuilt = 0
 	for _, r := range sw.Results {
-		r.Summary.Duration = 0
-		r.Summary.VictimsPerSec = 0
+		zeroClock(r.Summary)
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/actfort/actfort/internal/faultinject"
 )
@@ -295,9 +296,12 @@ func (j *Journal) Append(shard int, payload []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: journal append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("checkpoint: journal sync: %w", err)
 	}
+	metJournalFsync.ObserveSince(syncStart)
+	metJournalBytes.Add(int64(len(frame)))
 	if !j.done[shard] {
 		j.done[shard] = true
 		j.doneCount++
@@ -316,6 +320,7 @@ func (j *Journal) Due() bool { return j.sinceSnap >= j.every }
 // rename and truncate are separately instrumented, and resume handles
 // each intermediate state.
 func (j *Journal) Snapshot(payload []byte) error {
+	snapStart := time.Now()
 	body := make([]byte, 0, 16+len(j.done)/8+len(payload))
 	body = binary.LittleEndian.AppendUint32(body, uint32(j.manifest.NumShards))
 	bitmap := make([]byte, (j.manifest.NumShards+7)/8)
@@ -360,6 +365,8 @@ func (j *Journal) Snapshot(payload []byte) error {
 	if err := j.fault.At(faultinject.PointJournalTruncate); err != nil {
 		return err
 	}
+	metSnapshotBytes.Add(int64(len(full)))
+	metSnapshotSecs.ObserveSince(snapStart)
 	return nil
 }
 

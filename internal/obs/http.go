@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the /metrics scrape handler for r.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Scrape errors past the header are client disconnects; there is
+		// nothing useful to do with them.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the diagnostics mux: /metrics (Prometheus text),
+// /debug/vars (expvar, including the registry bridge if published) and
+// the full /debug/pprof tree. It is a plain ServeMux so callers can add
+// their own routes before serving.
+func (r *Registry) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer listens on addr and serves the diagnostics mux until ctx
+// is canceled, then shuts down. It returns the bound address (useful
+// with ":0") and a stop function that blocks until the server has
+// exited; the listen itself is synchronous so a bad addr fails fast
+// instead of surfacing mid-run.
+func (r *Registry) StartServer(ctx context.Context, addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: r.NewMux()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ErrServerClosed is the normal shutdown path; a real serve error
+		// has nowhere to go but the metrics endpoint dying, which the run
+		// must survive.
+		_ = srv.Serve(ln)
+	}()
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stopped:
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+	}()
+	stop := func() {
+		close(stopped)
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}

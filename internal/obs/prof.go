@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Profiler manages optional CPU and heap profile capture for the CLI
+// binaries. Start opens the files and begins CPU profiling; Stop
+// flushes both profiles exactly once — the CLIs call it from a defer
+// AND from the context-cancellation path, so idempotence matters more
+// than error propagation on the second call.
+type Profiler struct {
+	cpuPath, memPath string
+	cpuFile          *os.File
+	once             sync.Once
+	stopErr          error
+}
+
+// StartProfiler begins profile capture. Either path may be empty to
+// skip that profile; with both empty it returns a Profiler whose Stop
+// is a no-op, so call sites need no conditionals.
+func StartProfiler(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{cpuPath: cpuPath, memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile. Safe to call
+// multiple times and on a nil receiver; only the first call does work,
+// and every call returns that first call's error.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	p.once.Do(func() {
+		if p.cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := p.cpuFile.Close(); err != nil && p.stopErr == nil {
+				p.stopErr = fmt.Errorf("obs: cpu profile: %w", err)
+			}
+		}
+		if p.memPath != "" {
+			f, err := os.Create(p.memPath)
+			if err != nil {
+				if p.stopErr == nil {
+					p.stopErr = fmt.Errorf("obs: mem profile: %w", err)
+				}
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil && p.stopErr == nil {
+				p.stopErr = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && p.stopErr == nil {
+				p.stopErr = fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+	})
+	return p.stopErr
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"runtime/metrics"
+	"time"
+)
+
+// runtimeSamples maps the runtime/metrics names we poll to the gauge
+// families they feed. These three cover the questions a live campaign
+// scrape actually asks: is the worker pool leaking goroutines, how big
+// is the heap, and is GC stealing the victims/s budget.
+var runtimeSamples = []struct {
+	src  string
+	name string
+	help string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of heap memory occupied by live and dead objects."},
+	{"/gc/pauses:seconds", "go_gc_pause_p99_seconds", "p99 stop-the-world GC pause, over the process lifetime."},
+}
+
+// StartRuntimePoller registers go_* gauges on r and updates them every
+// interval until ctx is canceled, using the runtime/metrics sampler so
+// scrapes need no separate exporter process. An interval <= 0 defaults
+// to 5s. The first sample is taken synchronously so a scrape
+// immediately after startup sees real values.
+func (r *Registry) StartRuntimePoller(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	gauges := make([]*Gauge, len(runtimeSamples))
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		gauges[i] = r.NewGauge(rs.name, rs.help)
+		samples[i].Name = rs.src
+	}
+	poll := func() {
+		metrics.Read(samples)
+		for i := range samples {
+			switch samples[i].Value.Kind() {
+			case metrics.KindUint64:
+				gauges[i].Set(float64(samples[i].Value.Uint64()))
+			case metrics.KindFloat64:
+				gauges[i].Set(samples[i].Value.Float64())
+			case metrics.KindFloat64Histogram:
+				gauges[i].Set(histP99(samples[i].Value.Float64Histogram()))
+			}
+		}
+	}
+	poll()
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+}
+
+// histP99 extracts the 99th percentile from a runtime/metrics
+// histogram (bucket midpoint of the bucket holding the p99 rank).
+func histP99(h *metrics.Float64Histogram) float64 {
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(float64(total) * 0.99)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank && c > 0 {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if hi > lo && hi < 1e300 { // guard the +Inf top bucket
+				return (lo + hi) / 2
+			}
+			return lo
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

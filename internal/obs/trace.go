@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one line of the JSONL shard-lifecycle trace. The
+// schema is documented in docs/OBSERVABILITY.md; the jq validation in
+// CI asserts these field names.
+type TraceEvent struct {
+	// TS is milliseconds since the trace writer was opened, taken from
+	// the monotonic clock — events order correctly even across NTP
+	// steps, and a resumed process restarts at zero (the trace is
+	// per-process by design; stitch processes by file).
+	TS float64 `json:"ts_ms"`
+	// Event names the lifecycle transition: shard_start, shard_done,
+	// shard_retry, shard_quarantine, journal_append, snapshot,
+	// run_start, run_done.
+	Event string `json:"event"`
+	// Shard is the shard index, or -1 for run-level events.
+	Shard int `json:"shard"`
+	// Attempt is the 1-based attempt number for shard events, 0
+	// otherwise.
+	Attempt int `json:"attempt,omitempty"`
+	// Detail carries event-specific context: the retry error, the
+	// quarantine reason, journal/snapshot byte counts.
+	Detail string `json:"detail,omitempty"`
+	// Subscribers is the shard's (or run's) subscriber count, when the
+	// event has one.
+	Subscribers int64 `json:"subscribers,omitempty"`
+}
+
+// TraceWriter appends TraceEvents to a JSONL file. All methods are
+// safe on a nil receiver — call sites emit unconditionally and tracing
+// costs nothing when disabled. Emit is mutex-serialized; shard
+// lifecycle events are per-shard (thousands per run, not millions), so
+// the lock is never contended enough to matter.
+type TraceWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	f     *os.File
+	start time.Time
+}
+
+// OpenTraceFile creates (truncating) the JSONL trace file at path.
+func OpenTraceFile(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	return &TraceWriter{w: bufio.NewWriter(f), f: f, start: time.Now()}, nil
+}
+
+// Emit appends one event, stamping TS from the monotonic clock. A nil
+// writer ignores the call.
+func (t *TraceWriter) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.TS = float64(time.Since(t.start).Microseconds()) / 1e3
+	// Marshal of a flat struct cannot fail; a write error surfaces at
+	// Close, matching bufio semantics.
+	b, _ := json.Marshal(ev)
+	t.w.Write(b)
+	t.w.WriteByte('\n')
+}
+
+// Flush forces buffered events to the file — called at snapshot
+// boundaries so a crashed process leaves a trace consistent with its
+// checkpoint. Nil-safe.
+func (t *TraceWriter) Flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w.Flush()
+}
+
+// Close flushes and closes the file. Nil-safe; returns the first
+// buffered write error, if any.
+func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ferr := t.w.Flush()
+	cerr := t.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

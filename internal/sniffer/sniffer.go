@@ -437,6 +437,7 @@ func (s *Sniffer) FeedBatch(bursts []telecom.RadioBurst) {
 			pstart: pstart, pcount: int32(len(fs.payloads)) - pstart,
 		})
 	}
+	metFeedLanes.Observe(float64(len(fs.lanes)))
 	a51.EncryptBurstsBatch(fs.kcs, fs.frames, fs.lanes)
 	for i := range fs.pend {
 		p := &fs.pend[i]
@@ -514,6 +515,7 @@ func (s *Sniffer) prefetchCracks(fs *feedScratch) {
 	}
 	start := time.Now()
 	fs.keys, fs.errs = a51.RecoverAll(context.Background(), bc, fs.samples, s.net.KeySpace())
+	metCrackBatch.ObserveSince(start)
 	// Per-capture CrackTime is the amortized share of the batch — the
 	// honest per-message cost of an amortized engine.
 	fs.share = time.Since(start) / time.Duration(len(fs.samples))
@@ -615,6 +617,7 @@ func (s *Sniffer) resolveSessionPre(sess *session, pre *crackResult) (kc uint64,
 		s.mu.Lock()
 		s.stats.A53Abandoned++
 		s.mu.Unlock()
+		metA53Abandoned.Inc()
 		return 0, 0, false
 	}
 	if !paging.Encrypted {
@@ -627,14 +630,17 @@ func (s *Sniffer) resolveSessionPre(sess *session, pre *crackResult) (kc uint64,
 	cached, hit := s.kcCache[paging.SessionID]
 	if hit {
 		s.stats.CrackCacheHits++
+		metCrackCacheHits.Inc()
 	} else if subEligible {
 		// Session unseen — but the network may have reused an
 		// authentication context the rig already cracked.
 		if k, ok := s.subKc[subKey]; ok {
 			cached, hit = k, true
 			s.stats.KcReuseHits++
+			metKcReuseHits.Inc()
 		} else {
 			s.stats.KcReuseMisses++
+			metKcReuseMisses.Inc()
 		}
 	}
 	s.mu.Unlock()
@@ -650,6 +656,7 @@ func (s *Sniffer) resolveSessionPre(sess *session, pre *crackResult) (kc uint64,
 		s.mu.Lock()
 		s.stats.CracksAttempted++
 		s.mu.Unlock()
+		metCracksAttempted.Inc()
 		if pre.err != nil {
 			return 0, 0, false
 		}
@@ -663,12 +670,14 @@ func (s *Sniffer) resolveSessionPre(sess *session, pre *crackResult) (kc uint64,
 		s.mu.Lock()
 		s.stats.CracksAttempted++
 		s.mu.Unlock()
+		metCracksAttempted.Inc()
 		kc, err = s.cfg.Cracker.Recover(context.Background(), ks, paging.Frame, s.net.KeySpace())
 		if err != nil {
 			return 0, 0, false
 		}
 		crackTime = time.Since(start)
 	}
+	metCracksSucceeded.Inc()
 	s.mu.Lock()
 	s.stats.CracksSucceeded++
 	if len(s.kcCache) >= kcCacheMax {
@@ -728,6 +737,7 @@ func (s *Sniffer) record(sess *session, kc uint64, crackTime time.Duration, tpdu
 		CrackTime:  crackTime,
 	}
 
+	metDecoded.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.MessagesDecoded++
