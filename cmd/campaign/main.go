@@ -62,6 +62,7 @@ func main() {
 		backend     = flag.String("backend", "table", "shared A5/1 cracker backend (table, bitsliced, parallel, exhaustive)")
 		keyBits     = flag.Int("keybits", 12, "A5/1 session-key space bits")
 		leak        = flag.Float64("leak", population.DefaultLeakFraction, "fraction of subscribers in leak databases")
+		materialize = flag.Bool("materialized-personas", false, "eagerly materialize every persona and leak record (ablation; default derives attributes lazily from the seed)")
 		top         = flag.Int("top", 15, "services shown in the takeover ranking")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON instead of tables")
@@ -138,7 +139,8 @@ func main() {
 	err = run(runCfg{
 		subscribers: *subscribers, shardSize: *shardSize, workers: *workers,
 		seed: *seed, backend: *backend, keyBits: *keyBits, leak: *leak,
-		top: *top, quiet: *quiet, jsonOut: *jsonOut,
+		materialize: *materialize,
+		top:         *top, quiet: *quiet, jsonOut: *jsonOut,
 		scenario: campaign.Scenario{
 			Name:     "cli",
 			Policy:   *policy,
@@ -179,6 +181,7 @@ type runCfg struct {
 	seed                                          int64
 	backend                                       string
 	leak                                          float64
+	materialize                                   bool
 	quiet, jsonOut                                bool
 	scenario                                      campaign.Scenario
 	sweep                                         bool
@@ -368,10 +371,11 @@ func run(c runCfg) error {
 		startTicker(ctx)
 	}
 	pop, err := population.New(population.Config{
-		Seed:         c.seed,
-		Size:         c.subscribers,
-		ShardSize:    c.shardSize,
-		LeakFraction: c.leak,
+		Seed:                 c.seed,
+		Size:                 c.subscribers,
+		ShardSize:            c.shardSize,
+		LeakFraction:         c.leak,
+		MaterializedPersonas: c.materialize,
 	})
 	if err != nil {
 		return err

@@ -57,6 +57,7 @@ import (
 	"github.com/actfort/actfort/internal/gsmcodec"
 	"github.com/actfort/actfort/internal/obs"
 	"github.com/actfort/actfort/internal/population"
+	"github.com/actfort/actfort/internal/slab"
 	"github.com/actfort/actfort/internal/sniffer"
 	"github.com/actfort/actfort/internal/socialdb"
 	"github.com/actfort/actfort/internal/telecom"
@@ -459,9 +460,9 @@ func (rt *runtimeScenario) targets(sub *population.Subscriber) bool {
 	case LeakTierClean:
 		return !sub.Leaked
 	case LeakTierBreach:
-		return sub.Leaked && sub.Record.Source == "2016-breach"
+		return sub.Class == population.LeakBreach
 	case LeakTierWiFi:
-		return sub.Leaked && sub.Record.Source == "phishing-wifi"
+		return sub.Class == population.LeakWiFi
 	}
 	return true
 }
@@ -632,7 +633,9 @@ func (e *Engine) runShard(ctx context.Context, i int, net *telecom.Network, scr 
 		e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_start", Shard: i, Attempt: attempt})
 		err := e.cfg.Fault.ShardAttempt(i, attempt)
 		if err == nil {
-			part := e.attackShard(pop.Shard(i), net, scr, rt, plan)
+			sh := pop.Shard(i)
+			part := e.attackShard(sh, net, scr, rt, plan)
+			sh.Release()
 			e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_done", Shard: i, Attempt: attempt, Subscribers: part.Subscribers})
 			return part
 		}
@@ -707,25 +710,44 @@ const baseARFCN = 512
 // backed by the shared cracker, then evaluate the chain reaction for
 // each intercepted victim against the scenario's compiled plan.
 func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
-	part := newSummary(len(e.cfg.Population.Services()))
+	pop := e.cfg.Population
+	part := newSummary(len(pop.Services()))
 	part.Subscribers = int64(len(sh.Subscribers))
+	lazy := !pop.Materialized()
+	if n := len(sh.Subscribers); n > 0 {
+		metPopBytesPerSub.Set(float64(sh.MemBytes() / n))
+	}
 
-	// Harvest first: merge this shard's leaked records into the global
+	// Harvest first: land this shard's leaked records in the global
 	// attacker database (§V.A.1's "existing illegal databases"). A
-	// victim's dossier lives in their own shard, so merging here keeps
-	// lookups correct while every other worker's merges and lookups
-	// hit the same sharded store concurrently. The leak DB is a
-	// population fact, not a scenario artifact, so each shard merges
+	// victim's dossier lives in their own shard, so harvesting here
+	// keeps lookups correct while every other worker's inserts and
+	// lookups hit the same sharded store concurrently. The leak DB is a
+	// population fact, not a scenario artifact, so each shard harvests
 	// exactly once per engine and later sweep scenarios skip the
-	// rewrite.
+	// rewrite. On the lazy path the records don't exist yet: they are
+	// rebuilt from the draw streams into the worker's pooled record
+	// buffer, their strings carved from the worker's durable arena
+	// (never reset — the global DB retains them for the engine's
+	// lifetime), and bulk-inserted.
 	if e.harvested[sh.Index].CompareAndSwap(false, true) {
-		e.leaks.Merge(sh.Leaks)
+		if lazy {
+			scr.leakRecs, scr.phone = pop.AppendLeakRecords(scr.leakRecs[:0], sh, &scr.durable, scr.phone)
+			e.leaks.AddAll(scr.leakRecs)
+		} else {
+			e.leaks.Merge(sh.Leaks)
+		}
 	}
 	// Per-shard leak accounting (persona phones are unique, so summing
-	// shard store sizes equals the merged DB size): the count lands in
-	// the journaled partial, which keeps resumed and multi-process runs
+	// shard counts equals the merged DB size): the count lands in the
+	// journaled partial, which keeps resumed and multi-process runs
 	// exact — a global e.leaks.Len() would miss skipped shards.
-	part.LeakRecords = int64(sh.Leaks.Len())
+	part.LeakRecords = int64(sh.LeakCount)
+
+	// Per-shard IMSI strings are carved from the shard-cycle arena:
+	// they reach the sniffer rig's session caches, which releaseRig
+	// resets before this worker's next shard reuses the arena.
+	scr.strs.Reset()
 
 	rig := e.rig(net, rt.sig)
 	defer e.releaseRig(rig, rt.sig)
@@ -771,6 +793,11 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		if !encodable {
 			continue
 		}
+		imsi := sub.IMSI
+		if lazy {
+			scr.phone = population.AppendIMSI(scr.phone[:0], sub.Index)
+			imsi = slab.StringOf(&scr.strs, scr.phone)
+		}
 		mode := rt.mix.Mode(population.Unit(population.Mix(seed, population.TagCipher, idx)))
 		epoch := uint64(0)
 		var rnd [16]byte
@@ -786,7 +813,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 				// SHA-based derivations run once per epoch, not per
 				// session (the values are identical either way).
 				rnd = rand16(population.Mix(seed, population.TagRAND, idx, epoch))
-				kc = telecom.SessionKey(e.cfg.Population.Seed(), sub.IMSI, rnd, e.space)
+				kc = telecom.SessionKey(pop.Seed(), imsi, rnd, e.space)
 			}
 			// Schedule the session's paging burst on the next CCCH
 			// paging block, as the live network does, so the table
@@ -799,7 +826,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 				StartFrame: start,
 				Cipher:     mode,
 				Kc:         kc,
-				IMSI:       sub.IMSI,
+				IMSI:       imsi,
 				RAND:       rnd,
 				Deliver:    deliver,
 			})
@@ -870,7 +897,18 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		sub := &sh.Subscribers[li]
 		part.Intercepted++
 		know := plan.baseline
-		if rec, err := e.leaks.Lookup(sub.Persona.Phone); err == nil {
+		// The dossier probe derives the victim's phone into the worker's
+		// scratch buffer and hits the sharded store via the raw-bytes
+		// lookup — no key string is ever built on the closure path.
+		var rec socialdb.Record
+		var err error
+		if lazy {
+			scr.phone = sub.Ref.AppendPhone(scr.phone[:0])
+			rec, err = e.leaks.LookupBytes(scr.phone)
+		} else {
+			rec, err = e.leaks.Lookup(sub.Persona.Phone)
+		}
+		if err == nil {
 			part.DossierHits++
 			know |= leakFactorMask(rec)
 		}

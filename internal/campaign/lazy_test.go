@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"testing"
+
+	"github.com/actfort/actfort/internal/population"
+)
+
+// TestCampaignLazyMatchesMaterialized pins the lazy-persona rework's
+// contract: deriving subscriber attributes on demand from the draw
+// streams (the default) must produce a byte-identical Summary to the
+// eager MaterializedPersonas ablation — same leak DB, same dossier
+// hits, same per-victim chain outcomes — across the batch pipeline and
+// both scalar ablations, and across scenarios exercising leak-tier
+// segmentation (the one knob that reads leak classes directly).
+func TestCampaignLazyMatchesMaterialized(t *testing.T) {
+	scenarios := []Scenario{
+		{}, // paper baseline
+		{Segment: VictimSegment{LeakTier: LeakTierBreach}},
+		{Radio: RadioEnv{A50Fraction: 0.3, A53Fraction: 0.3, OTPSessions: 2},
+			Segment: VictimSegment{LeakTier: LeakTierWiFi}},
+		{Radio: RadioEnv{A50Fraction: -1, ReauthSkip: -1},
+			Budget: AttackerBudget{Receivers: 8, CellChannels: 16}},
+	}
+	ablations := []struct {
+		name         string
+		scalarRadio  bool
+		scalarReplay bool
+	}{
+		{"batch", false, false},
+		{"scalar-radio", true, false},
+		{"scalar-replay", false, true},
+	}
+	for _, ab := range ablations {
+		t.Run(ab.name, func(t *testing.T) {
+			for i, sc := range scenarios {
+				var rendered [2]string
+				var services []string
+				for j, materialized := range []bool{false, true} {
+					pop, err := population.New(population.Config{
+						Seed: 7, Size: 1500, ShardSize: 256,
+						MaterializedPersonas: materialized,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					services = pop.Services()
+					sum := runCampaign(t, Config{
+						Population: pop, KeyBits: 10, Workers: 3,
+						ScalarRadio: ab.scalarRadio, ScalarReplay: ab.scalarReplay,
+						Scenario: sc,
+					})
+					zeroClock(sum)
+					rendered[j] = sum.Render(services, 25)
+				}
+				if rendered[0] != rendered[1] {
+					t.Errorf("scenario %d: lazy and materialized summaries differ:\n--- lazy ---\n%s\n--- materialized ---\n%s",
+						i, rendered[0], rendered[1])
+				}
+			}
+		})
+	}
+}

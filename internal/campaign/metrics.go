@@ -44,6 +44,8 @@ var (
 		"Live throughput of the running scenario: subscribers processed by THIS process over its elapsed time.")
 	metCoverage = obs.Default.NewGauge("campaign_coverage_fraction",
 		"Live processed/(processed+skipped) fraction; below 1.0 means quarantined shards degraded coverage.")
+	metPopBytesPerSub = obs.Default.NewGauge("campaign_population_bytes_per_subscriber",
+		"Resident bytes per subscriber of the last generated shard (subscriber structs + enrollment arena): the lazy-persona footprint, ~16x smaller than materialized personas.")
 )
 
 // phaseNames are the attackShard stages the campaign_phase_seconds

@@ -5,6 +5,8 @@ import (
 	"math/bits"
 
 	"github.com/actfort/actfort/internal/ecosys"
+	"github.com/actfort/actfort/internal/slab"
+	"github.com/actfort/actfort/internal/socialdb"
 	"github.com/actfort/actfort/internal/tdg"
 	"github.com/actfort/actfort/internal/telecom"
 )
@@ -146,6 +148,19 @@ type scratch struct {
 	covered     []bool
 	intercepted []bool
 	bursts      *telecom.BurstBuffer
+
+	// Lazy-persona working set. phone is the attribute-derivation
+	// scratch buffer (phones, IMSIs, leak-record fields); strs is the
+	// shard-cycle string arena (per-shard IMSIs — reset at each shard's
+	// start, after releaseRig has cleared the rig caches that saw the
+	// previous shard's carves); durable is the grow-only arena behind
+	// leak-record strings, never reset because the engine-lifetime leak
+	// DB retains them; leakRecs is the pooled per-shard record buffer
+	// the harvest phase rebuilds dump rows into.
+	phone    []byte
+	strs     slab.Slab[byte]
+	durable  slab.Slab[byte]
+	leakRecs []socialdb.Record
 }
 
 func newScratch(p *attackPlan) *scratch {

@@ -3,6 +3,8 @@ package ecosys
 import (
 	"fmt"
 	"sort"
+
+	"github.com/actfort/actfort/internal/intern"
 )
 
 // Platform distinguishes a service's web client from its mobile app.
@@ -397,7 +399,11 @@ type Catalog struct {
 }
 
 // NewCatalog copies specs into a catalog. Duplicate names are an
-// error: the ecosystem graph keys nodes by service name.
+// error: the ecosystem graph keys nodes by service name. Names are
+// interned on the way in — every catalog built from the same
+// vocabulary (countermeasure rebuilds, sweep clones) keys its maps on
+// the same canonical string instances, so lookups compare pointers
+// before bytes and clones add no name storage.
 func NewCatalog(specs []*ServiceSpec) (*Catalog, error) {
 	c := &Catalog{
 		services: make([]*ServiceSpec, 0, len(specs)),
@@ -410,6 +416,7 @@ func NewCatalog(specs []*ServiceSpec) (*Catalog, error) {
 		if s.Name == "" {
 			return nil, fmt.Errorf("ecosys: service with empty name")
 		}
+		s.Name = intern.String(s.Name)
 		if _, dup := c.byName[s.Name]; dup {
 			return nil, fmt.Errorf("ecosys: duplicate service name %q", s.Name)
 		}

@@ -10,10 +10,22 @@
 // on), bankcard numbers are Luhn-valid, and phone numbers follow the
 // +86 mobile numbering plan. Every persona is a pure function of
 // (seed, index), so experiments are reproducible bit for bit.
+//
+// Two access models share one draw stream:
+//
+//   - Persona(i) materializes the complete persona — every field as a
+//     heap string — for code that needs the whole record;
+//   - Ref(i) is the lazy handle: a (stream-origin, index) pair whose
+//     accessors derive single attributes on demand, byte-identical to
+//     the materialized fields, without generating the rest. Fixed-
+//     position attributes skip straight to their draw (SplitMix64
+//     state k steps ahead is one multiply away), names resolve through
+//     the interned fullNames table, and Append* variants write into
+//     caller-owned buffers so population-scale consumers touch the
+//     allocator only for blocks, never per subscriber.
 package identity
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
@@ -53,81 +65,231 @@ func NewGenerator(seed int64) *Generator {
 	return &Generator{seed: seed}
 }
 
-// stream is the per-persona draw source: a SplitMix64 generator whose
-// whole state is one word. It replaced the earlier per-persona
-// math/rand.Rand — seeding a rand.Source initializes a 607-word
-// lagged-Fibonacci table per subscriber, which profiled at ~14% of
-// campaign CPU at population scale; advancing a splitmix word costs a
-// few multiplies. The draw sequence differs from the math/rand-backed
-// generation, so persona-derived digests (population.Fingerprint)
-// carry a version bump (population.FingerprintVersion = 2).
-type stream struct{ state uint64 }
+// The draw stream is SplitMix64: from a per-persona origin z0, draw k
+// is finalize(z0 + (k+1)·γ). Because the state advance is a plain
+// addition, any draw is O(1) reachable without computing the ones
+// before it — the property the lazy Ref accessors rest on. It replaced
+// the earlier per-persona math/rand.Rand — seeding a rand.Source
+// initializes a 607-word lagged-Fibonacci table per subscriber, which
+// profiled at ~14% of campaign CPU at population scale. The draw
+// sequence differs from the math/rand-backed generation, so
+// persona-derived digests (population.Fingerprint) carry a version
+// bump (population.FingerprintVersion = 2).
+const splitmixGamma = 0x9e3779b97f4a7c15
 
-// next advances the SplitMix64 state.
-func (s *stream) next() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+// finalize is the SplitMix64 output scramble.
+func finalize(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-// Intn draws uniformly from [0, n). The modulo bias is below 2^-40
-// for every n this package uses — irrelevant for synthetic personas,
-// where only determinism matters.
-func (s *stream) Intn(n int) int { return int(s.next() % uint64(n)) }
-
-// Int63n draws uniformly from [0, n) for wide ranges.
-func (s *stream) Int63n(n int64) int64 { return int64(s.next() % uint64(n)) }
-
-// rng derives an independent stream for persona i so that personas can
-// be generated in any order (or in parallel) without coordination.
-func (g *Generator) rng(i int) *stream {
-	// SplitMix64-style scramble keeps streams decorrelated even for
-	// adjacent indexes.
-	z := uint64(g.seed) + uint64(i)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return &stream{state: z}
+// originOf derives the independent stream origin for persona i so that
+// personas can be generated in any order (or in parallel) without
+// coordination; the scramble keeps streams decorrelated even for
+// adjacent indexes.
+func originOf(seed int64, i int) uint64 {
+	return finalize(uint64(seed) + uint64(i)*splitmixGamma)
 }
 
-// Persona returns the i-th persona. Negative indexes are invalid and
-// panic, matching slice semantics.
-func (g *Generator) Persona(i int) Persona {
+// drawAt returns the k-th draw (0-based) of the stream rooted at z0.
+func drawAt(z0 uint64, k int) uint64 {
+	return finalize(z0 + uint64(k+1)*splitmixGamma)
+}
+
+// The fixed draw positions of a persona's stream. Every attribute owns
+// a stable slot, shared by the eager Persona builder and the lazy Ref
+// accessors, so the two derivations are position-identical by
+// construction. Acquaintances and photos follow at drawAcq0 with
+// variable length. Inserting a slot is a compatibility break for
+// recorded fixtures (population.FingerprintVersion pins it).
+const (
+	drawSurname = iota
+	drawGiven
+	drawRegion
+	drawYear
+	drawMonth
+	drawDay
+	drawSeq
+	drawAddrNum
+	drawStreet
+	drawDistrict
+	drawCity
+	drawBankcard
+	drawDevice
+	drawNAcq
+	drawAcq0
+)
+
+// Ref is the lazy persona handle: 16 bytes standing in for the whole
+// materialized record. Accessors derive attributes on demand from the
+// draw stream, byte-identical to the corresponding Persona fields.
+// The zero value is persona 0 of seed 0; Refs are comparable and safe
+// to copy.
+type Ref struct {
+	z0  uint64
+	idx int
+}
+
+// Ref returns the lazy handle for persona i. Negative indexes are
+// invalid and panic, matching Persona.
+func (g *Generator) Ref(i int) Ref {
 	if i < 0 {
 		panic("identity: negative persona index")
 	}
-	r := g.rng(i)
-	surname := surnames[r.Intn(len(surnames))]
-	given := givenNames[r.Intn(len(givenNames))]
-	name := surname + " " + given
+	return Ref{z0: originOf(g.seed, i), idx: i}
+}
+
+// Index returns the persona index the handle refers to.
+func (r Ref) Index() int { return r.idx }
+
+// draw is the k-th draw of this persona's stream.
+func (r Ref) draw(k int) uint64 { return drawAt(r.z0, k) }
+
+// intn maps draw k uniformly onto [0, n). The modulo bias is below
+// 2^-40 for every n this package uses — irrelevant for synthetic
+// personas, where only determinism matters.
+func (r Ref) intn(k, n int) int { return int(r.draw(k) % uint64(n)) }
+
+// RealName returns the persona's full name, resolved through the
+// process-wide interned fullNames table: every persona sharing a
+// (surname, given) combination shares one canonical string.
+func (r Ref) RealName() string {
+	return fullNames[r.intn(drawSurname, len(surnames))][r.intn(drawGiven, len(givenNames))]
+}
+
+// DeviceType returns the persona's device model (vocabulary string,
+// already canonical).
+func (r Ref) DeviceType() string { return deviceTypes[r.intn(drawDevice, len(deviceTypes))] }
+
+// AppendPhone appends the persona's +86 mobile number: prefix 13x-19x
+// plus an 8-digit subscriber part derived from the index.
+func (r Ref) AppendPhone(b []byte) []byte {
+	b = append(b, "+86"...)
+	b = append(b, phonePrefixes[r.idx%len(phonePrefixes)]...)
+	return appendPadInt(b, int64(r.idx), 8)
+}
+
+// Phone returns the persona's phone number as a fresh string.
+func (r Ref) Phone() string { return string(r.AppendPhone(make([]byte, 0, 14))) }
+
+// AppendCitizenID appends the 18-character ID: 6-digit region, 8-digit
+// birth date, 3-digit sequence, and the MOD 11-2 check character.
+func (r Ref) AppendCitizenID(b []byte) []byte {
+	start := len(b)
+	b = append(b, regionCodes[r.intn(drawRegion, len(regionCodes))]...)
+	b = appendPadInt(b, int64(1955+r.intn(drawYear, 50)), 4)
+	b = appendPadInt(b, int64(1+r.intn(drawMonth, 12)), 2)
+	b = appendPadInt(b, int64(1+r.intn(drawDay, 28)), 2)
+	b = appendPadInt(b, int64(r.intn(drawSeq, 1000)), 3)
+	return append(b, citizenCheckChar(b[start:]))
+}
+
+// CitizenID returns the citizen ID as a fresh string.
+func (r Ref) CitizenID() string { return string(r.AppendCitizenID(make([]byte, 0, 18))) }
+
+// AppendAddress appends the street address ("N Street, District
+// District, City").
+func (r Ref) AppendAddress(b []byte) []byte {
+	b = strconv.AppendInt(b, int64(1+r.intn(drawAddrNum, 999)), 10)
+	b = append(b, ' ')
+	b = append(b, streets[r.intn(drawStreet, len(streets))]...)
+	b = append(b, ", "...)
+	b = append(b, districts[r.intn(drawDistrict, len(districts))]...)
+	b = append(b, " District, "...)
+	b = append(b, cities[r.intn(drawCity, len(cities))]...)
+	return b
+}
+
+// Address returns the address as a fresh string.
+func (r Ref) Address() string { return string(r.AppendAddress(make([]byte, 0, 48))) }
+
+// AppendBankcard appends the Luhn-valid 16-digit PAN with a
+// recognizable synthetic IIN so test data cannot be mistaken for a
+// real card.
+func (r Ref) AppendBankcard(b []byte) []byte {
+	start := len(b)
+	b = append(b, "62"...)
+	b = appendPadInt(b, int64(r.draw(drawBankcard)%uint64(1e13)), 13)
+	return append(b, luhnCheckDigit(b[start:]))
+}
+
+// Bankcard returns the PAN as a fresh string.
+func (r Ref) Bankcard() string { return string(r.AppendBankcard(make([]byte, 0, 16))) }
+
+// AppendEmail appends the persona's email address, derived from the
+// lowercase name tables and the index.
+func (r Ref) AppendEmail(b []byte) []byte {
+	b = append(b, surnamesLower[r.intn(drawSurname, len(surnames))]...)
+	b = append(b, '.')
+	b = append(b, givenNamesLower[r.intn(drawGiven, len(givenNames))]...)
+	b = strconv.AppendInt(b, int64(r.idx), 10)
+	return append(b, "@mail.example"...)
+}
+
+// Email returns the email address as a fresh string.
+func (r Ref) Email() string { return string(r.AppendEmail(make([]byte, 0, 32))) }
+
+// AppendUserID appends the service-facing user ID ("u%07d").
+func (r Ref) AppendUserID(b []byte) []byte {
+	b = append(b, 'u')
+	return appendPadInt(b, int64(r.idx), 7)
+}
+
+// UserID returns the user ID as a fresh string.
+func (r Ref) UserID() string { return string(r.AppendUserID(make([]byte, 0, 8))) }
+
+// AppendStudentID appends the student ID ("S%08d" of 20100000+index).
+func (r Ref) AppendStudentID(b []byte) []byte {
+	b = append(b, 'S')
+	return appendPadInt(b, int64(20100000+r.idx), 8)
+}
+
+// StudentID returns the student ID as a fresh string.
+func (r Ref) StudentID() string { return string(r.AppendStudentID(make([]byte, 0, 9))) }
+
+// Persona materializes the complete record the handle refers to —
+// the eager twin, byte-identical field by field.
+func (r Ref) Persona() Persona {
 	p := Persona{
-		Index:      i,
-		RealName:   name,
-		CitizenID:  genCitizenID(r),
-		Phone:      genPhone(i),
-		Address:    genAddress(r),
-		Bankcard:   genBankcard(r),
-		UserID:     fmt.Sprintf("u%07d", i),
-		StudentID:  fmt.Sprintf("S%08d", 20100000+i),
-		DeviceType: deviceTypes[r.Intn(len(deviceTypes))],
+		Index:      r.idx,
+		RealName:   r.RealName(),
+		CitizenID:  r.CitizenID(),
+		Phone:      r.Phone(),
+		Email:      r.Email(),
+		Address:    r.Address(),
+		Bankcard:   r.Bankcard(),
+		UserID:     r.UserID(),
+		StudentID:  r.StudentID(),
+		DeviceType: r.DeviceType(),
 	}
-	p.Email = strings.ToLower(surname) + "." + strings.ToLower(given) + strconv.Itoa(i) + "@mail.example"
-	nAcq := 2 + r.Intn(4)
+	nAcq := 2 + r.intn(drawNAcq, 4)
 	p.Acquaintances = make([]string, 0, nAcq)
 	for k := 0; k < nAcq; k++ {
-		p.Acquaintances = append(p.Acquaintances,
-			surnames[r.Intn(len(surnames))]+" "+givenNames[r.Intn(len(givenNames))])
+		s := r.intn(drawAcq0+2*k, len(surnames))
+		g := r.intn(drawAcq0+2*k+1, len(givenNames))
+		p.Acquaintances = append(p.Acquaintances, fullNames[s][g])
 	}
-	nPhotos := r.Intn(3)
+	nPhotos := r.intn(drawAcq0+2*nAcq, 3)
+	var buf [24]byte
 	for k := 0; k <= nPhotos; k++ {
-		p.Photos = append(p.Photos, fmt.Sprintf("IMG_%04d_%d.jpg", i, k))
+		name := append(buf[:0], "IMG_"...)
+		name = appendPadInt(name, int64(r.idx), 4)
+		name = append(name, '_')
+		name = strconv.AppendInt(name, int64(k), 10)
+		name = append(name, ".jpg"...)
+		p.Photos = append(p.Photos, string(name))
 	}
-	if r.Intn(4) == 0 { // some users back up an ID photo to the cloud
+	if r.intn(drawAcq0+2*nAcq+1, 4) == 0 { // some users back up an ID photo to the cloud
 		p.Photos = append(p.Photos, "citizen_id_scan.jpg")
 	}
 	return p
+}
+
+// Persona returns the i-th persona, fully materialized. Negative
+// indexes are invalid and panic, matching slice semantics.
+func (g *Generator) Persona(i int) Persona {
+	return g.Ref(i).Persona()
 }
 
 // Personas returns personas [0, n).
@@ -139,39 +301,61 @@ func (g *Generator) Personas(n int) []Persona {
 	return out
 }
 
-// genPhone allocates unique +86 mobile numbers: prefix 13x-19x plus a
-// 8-digit subscriber part derived from the index.
-func genPhone(i int) string {
-	prefixes := []string{"138", "139", "150", "159", "176", "186", "188", "199"}
-	pfx := prefixes[i%len(prefixes)]
-	return "+86" + pfx + fmt.Sprintf("%08d", i)
+// phonePrefixes are the +86 mobile prefixes personas cycle through.
+var phonePrefixes = []string{"138", "139", "150", "159", "176", "186", "188", "199"}
+
+// appendPadInt appends v zero-padded to at least width digits —
+// fmt's %0*d minimum-width semantics, allocation-free.
+func appendPadInt(b []byte, v int64, width int) []byte {
+	var tmp [20]byte
+	d := strconv.AppendInt(tmp[:0], v, 10)
+	for n := len(d); n < width; n++ {
+		b = append(b, '0')
+	}
+	return append(b, d...)
 }
 
-func genAddress(r *stream) string {
-	return fmt.Sprintf("%d %s, %s District, %s",
-		1+r.Intn(999),
-		streets[r.Intn(len(streets))],
-		districts[r.Intn(len(districts))],
-		cities[r.Intn(len(cities))])
-}
+// fullNames is the interned name vocabulary: every (surname, given)
+// combination as one canonical "Surname Given" string, built once at
+// init. Personas and acquaintances resolve names through it, so a
+// population of any size retains at most len(surnames)×len(givenNames)
+// name strings.
+var fullNames = func() [][]string {
+	out := make([][]string, len(surnames))
+	for s, sur := range surnames {
+		out[s] = make([]string, len(givenNames))
+		for g, giv := range givenNames {
+			out[s][g] = sur + " " + giv
+		}
+	}
+	return out
+}()
 
-// genCitizenID builds an 18-character ID: 6-digit region, 8-digit
-// birth date, 3-digit sequence, and the MOD 11-2 check character.
-func genCitizenID(r *stream) string {
-	region := regionCodes[r.Intn(len(regionCodes))]
-	year := 1955 + r.Intn(50)
-	month := 1 + r.Intn(12)
-	day := 1 + r.Intn(28)
-	seq := r.Intn(1000)
-	body := fmt.Sprintf("%s%04d%02d%02d%03d", region, year, month, day, seq)
-	return body + string(CitizenIDCheckChar(body))
+// surnamesLower and givenNamesLower are the lowercase twins the email
+// derivation uses, precomputed so per-persona emails never call
+// strings.ToLower.
+var surnamesLower = lowerAll(surnames)
+var givenNamesLower = lowerAll(givenNames)
+
+// lowerAll lowercases a vocabulary once.
+func lowerAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = strings.ToLower(s)
+	}
+	return out
 }
 
 // CitizenIDCheckChar computes the ISO 7064 MOD 11-2 check character for
 // the first 17 digits of a citizen ID. It panics if body is not 17
 // decimal digits; callers validate with ValidCitizenID instead when
 // handling untrusted input.
-func CitizenIDCheckChar(body string) byte {
+func CitizenIDCheckChar(body string) byte { return citizenCheckChar(body) }
+
+// citizenCheckChar is the byte/string-generic core of
+// CitizenIDCheckChar, so the append-based lazy accessors avoid a
+// string conversion per call.
+func citizenCheckChar[T ~string | ~[]byte](body T) byte {
 	if len(body) != 17 {
 		panic("identity: citizen ID body must be 17 digits")
 	}
@@ -206,16 +390,12 @@ func ValidCitizenID(id string) bool {
 	return CitizenIDCheckChar(id[:17]) == last
 }
 
-// genBankcard returns a Luhn-valid 16-digit PAN with a recognizable
-// synthetic IIN so test data cannot be mistaken for a real card.
-func genBankcard(r *stream) string {
-	body := "62" + fmt.Sprintf("%013d", r.Int63n(1e13))
-	return body + string(LuhnCheckDigit(body))
-}
-
 // LuhnCheckDigit computes the Luhn check digit for a digit string.
 // It panics on non-digit input; use ValidLuhn for untrusted data.
-func LuhnCheckDigit(body string) byte {
+func LuhnCheckDigit(body string) byte { return luhnCheckDigit(body) }
+
+// luhnCheckDigit is the byte/string-generic core of LuhnCheckDigit.
+func luhnCheckDigit[T ~string | ~[]byte](body T) byte {
 	sum := 0
 	// Walking right to left, the rightmost body digit is doubled
 	// because the check digit will occupy the final (undoubled) slot.

@@ -204,3 +204,62 @@ func BenchmarkPersona(b *testing.B) {
 		_ = g.Persona(i % 4096)
 	}
 }
+
+// TestRefAccessorsMatchPersona is the lazy-derivation property test:
+// every on-demand Ref accessor must return exactly the field the full
+// Persona materialization produces, across seeds and indices, and the
+// Append forms must agree with their string twins when handed a dirty
+// reusable buffer.
+func TestRefAccessorsMatchPersona(t *testing.T) {
+	buf := []byte("garbage-prefix")[:0]
+	for _, seed := range []int64{0, 1, 42, -9000} {
+		g := NewGenerator(seed)
+		for _, i := range []int{0, 1, 7, 999, 123456} {
+			r := g.Ref(i)
+			p := g.Persona(i)
+			if r.Index() != i {
+				t.Fatalf("Ref(%d).Index() = %d", i, r.Index())
+			}
+			checks := []struct {
+				name, got, want string
+			}{
+				{"RealName", r.RealName(), p.RealName},
+				{"Phone", r.Phone(), p.Phone},
+				{"CitizenID", r.CitizenID(), p.CitizenID},
+				{"Address", r.Address(), p.Address},
+				{"Bankcard", r.Bankcard(), p.Bankcard},
+				{"Email", r.Email(), p.Email},
+				{"UserID", r.UserID(), p.UserID},
+				{"StudentID", r.StudentID(), p.StudentID},
+				{"DeviceType", r.DeviceType(), p.DeviceType},
+			}
+			for _, c := range checks {
+				if c.got != c.want {
+					t.Fatalf("seed %d idx %d: %s lazy %q != eager %q", seed, i, c.name, c.got, c.want)
+				}
+			}
+			appends := []struct {
+				name string
+				fn   func([]byte) []byte
+				want string
+			}{
+				{"AppendPhone", r.AppendPhone, p.Phone},
+				{"AppendCitizenID", r.AppendCitizenID, p.CitizenID},
+				{"AppendAddress", r.AppendAddress, p.Address},
+				{"AppendBankcard", r.AppendBankcard, p.Bankcard},
+				{"AppendEmail", r.AppendEmail, p.Email},
+				{"AppendUserID", r.AppendUserID, p.UserID},
+				{"AppendStudentID", r.AppendStudentID, p.StudentID},
+			}
+			for _, c := range appends {
+				buf = c.fn(buf[:0])
+				if string(buf) != c.want {
+					t.Fatalf("seed %d idx %d: %s into reused buffer = %q, want %q", seed, i, c.name, buf, c.want)
+				}
+			}
+			if got := r.Persona(); !reflect.DeepEqual(got, p) {
+				t.Fatalf("seed %d idx %d: Ref.Persona() diverges:\nlazy  %+v\neager %+v", seed, i, got, p)
+			}
+		}
+	}
+}

@@ -10,11 +10,27 @@
 // is retained between Shard calls — a campaign streams shards through
 // a worker pool without ever holding the whole population in memory.
 //
+// Since the lazy-persona rework the default Shard is COMPACT: a
+// subscriber is its index, an identity.Ref (seed + index, 16 bytes),
+// an arena-carved enrollment bitset and two leak flags — no persona
+// strings, no per-subscriber leak records, no shard-local leak store.
+// Attribute bytes (IMSI, phone, name, address) derive on demand from
+// the Ref's draw stream exactly when a consumer touches them, and
+// AppendLeakRecords rebuilds the attacker-visible dump rows from the
+// same streams when the campaign harvests a shard. Shards recycle
+// through a pool (Release), so steady-state streaming allocates
+// nothing per subscriber. Config.MaterializedPersonas restores the
+// eager path — every persona field and leak record materialized, the
+// shard-local Leaks store populated — as an ablation knob mirroring
+// campaign.Config.ScalarRadio/ScalarReplay: same results, different
+// cost.
+//
 // That purity is the invariant every batch≡scalar equivalence test
 // upstream rests on: regenerating a shard yields bit-identical
-// subscribers (Fingerprint pins it, versioned by FingerprintVersion),
-// so two campaign runs over one seed differ only in engine mechanics,
-// never in the world being attacked.
+// subscribers (Fingerprint pins it, versioned by FingerprintVersion,
+// computed over the fully materialized form in either mode), so two
+// campaign runs over one seed differ only in engine mechanics, never
+// in the world being attacked.
 package population
 
 import (
@@ -22,10 +38,13 @@ import (
 	"hash/fnv"
 	"math"
 	"math/bits"
+	"sync"
+	"unsafe"
 
 	"github.com/actfort/actfort/internal/dataset"
 	"github.com/actfort/actfort/internal/ecosys"
 	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/slab"
 	"github.com/actfort/actfort/internal/socialdb"
 )
 
@@ -52,29 +71,75 @@ type Config struct {
 	// EnrollmentScale multiplies every service-adoption probability
 	// (0 = 1.0). Raising it densifies the account graph per victim.
 	EnrollmentScale float64
+	// MaterializedPersonas restores the eager generation path: every
+	// subscriber carries its full persona, IMSI string and leak record,
+	// and each shard owns a populated Leaks store. Results are
+	// byte-identical to the default lazy path (the equivalence suite
+	// pins it); only allocation behavior differs. Ablation knob.
+	MaterializedPersonas bool
 }
 
 // DefaultLeakFraction matches the paper's observation that merged
 // breach dumps cover a large minority of active phone numbers.
 const DefaultLeakFraction = 0.35
 
-// Subscriber is one member of the population.
+// LeakClass buckets a subscriber's presence in the attacker's leak
+// databases — the compact stand-in for Record.Source string
+// comparisons on the campaign hot path.
+type LeakClass uint8
+
+const (
+	// LeakNone marks a subscriber absent from every leak database.
+	LeakNone LeakClass = iota
+	// LeakBreach marks a full breach row (name and address, sometimes
+	// the citizen ID) — Source "2016-breach".
+	LeakBreach
+	// LeakWiFi marks a phishing-WiFi harvest (phone number only) —
+	// Source "phishing-wifi".
+	LeakWiFi
+)
+
+// Leak record source labels (§V.A.1's two source tiers). Shared
+// constants so every record of a tier aliases one canonical string.
+const (
+	SourceBreach = "2016-breach"
+	SourceWiFi   = "phishing-wifi"
+)
+
+// Subscriber is one member of the population. In the default lazy mode
+// only Index, Ref, Enrolled, Leaked and Class are populated; IMSI,
+// Persona and Record stay zero and attribute bytes derive on demand
+// (AppendIMSI, Ref accessors, AppendLeakRecords). With
+// Config.MaterializedPersonas every field is filled eagerly.
 type Subscriber struct {
 	// Index is the global subscriber index (also the persona index).
 	Index int
-	// IMSI is the SIM identity campaigns synthesize traffic for.
+	// Ref is the lazy persona handle (seed + index); always set.
+	Ref identity.Ref
+	// IMSI is the SIM identity campaigns synthesize traffic for
+	// (materialized mode only; derive with AppendIMSI otherwise).
 	IMSI string
-	// Persona holds the synthetic personal information.
-	Persona identity.Persona
+	// Persona holds the synthetic personal information — nil in lazy
+	// mode (derive fields through Ref), allocated per subscriber in
+	// materialized mode. A pointer, not a value: the compact subscriber
+	// must not pay the struct's 200 zero bytes per member.
+	Persona *identity.Persona
 	// Enrolled is the set of catalog services (by catalog order index)
-	// the subscriber holds accounts on.
+	// the subscriber holds accounts on. The bitset is carved from the
+	// shard's arena: valid until the shard is Released.
 	Enrolled ServiceSet
-	// Leaked reports presence in the attacker's leak databases;
-	// Record is the zero value when false.
+	// Leaked reports presence in the attacker's leak databases; Class
+	// refines it to the source tier. Both are set in every mode.
 	Leaked bool
-	// Record is the leaked entry as the attacker sees it.
-	Record socialdb.Record
+	Class  LeakClass
+	// Record is the leaked entry as the attacker sees it — nil in lazy
+	// mode (derive with AppendLeakRecords) and for unleaked
+	// subscribers, allocated in materialized mode when Leaked.
+	Record *socialdb.Record
 }
+
+// AppendIMSI appends the subscriber's 15-digit IMSI.
+func (s *Subscriber) AppendIMSI(b []byte) []byte { return AppendIMSI(b, s.Index) }
 
 // ServiceSet is a bitset over catalog service indices.
 type ServiceSet []uint64
@@ -99,21 +164,54 @@ type Shard struct {
 	Index int
 	// Start and End bound the subscriber index range [Start, End).
 	Start, End int
-	// Subscribers holds the materialized members.
+	// Subscribers holds the shard's members (compact in lazy mode).
 	Subscribers []Subscriber
-	// Leaks is the shard-local leaked-records store; campaign
-	// ingestion merges these into one global socialdb.DB.
+	// Leaks is the shard-local leaked-records store — populated only in
+	// materialized mode, nil in lazy mode (campaign harvest rebuilds the
+	// records straight into its global store via AppendLeakRecords).
 	Leaks *socialdb.DB
+	// LeakCount is the number of leaked subscribers in the shard, valid
+	// in both modes (phones are unique per index, so it equals the
+	// record count the shard contributes to a merged leak database).
+	LeakCount int
+
+	// enroll is the arena every subscriber's Enrolled bitset is carved
+	// from; one block backs the whole shard and is recycled on Release.
+	enroll slab.Slab[uint64]
+	owner  *Population
+}
+
+// MemBytes estimates the shard's resident bytes: the subscriber slice
+// plus the enrollment arena. In lazy mode this is the whole resident
+// cost of streaming the shard; materialized personas add their string
+// heap on top (not counted here).
+func (sh *Shard) MemBytes() int {
+	return cap(sh.Subscribers)*int(unsafe.Sizeof(Subscriber{})) + sh.enroll.Len()*8
+}
+
+// Release returns the shard to its population's pool for reuse by a
+// later Shard call. The shard, its Subscribers and every Enrolled
+// bitset are invalid afterwards. Releasing is optional — unreleased
+// shards are garbage collected — but steady-state streaming (the
+// campaign worker pool) recycles every shard so generation allocates
+// nothing per subscriber.
+func (sh *Shard) Release() {
+	if sh.owner != nil {
+		sh.owner.pool.Put(sh)
+	}
 }
 
 // Population is a deterministic subscriber generator. Safe for
-// concurrent use: all state is immutable after New.
+// concurrent use: all generator state is immutable after New (the
+// shard pool is internally synchronized).
 type Population struct {
 	cfg      Config
 	catalog  *ecosys.Catalog
 	services []string
 	adoption []float64
 	gen      *identity.Generator
+	words    int // enrollment bitset words per subscriber
+	pool     sync.Pool
 }
 
 // New validates the config and precomputes the per-service adoption
@@ -147,6 +245,8 @@ func New(cfg Config) (*Population, error) {
 		gen:      identity.NewGenerator(cfg.Seed),
 		adoption: adoptionRates(cfg.Catalog, cfg.EnrollmentScale),
 	}
+	p.words = (len(p.adoption) + 63) / 64
+	p.pool.New = func() any { return &Shard{owner: p} }
 	for _, svc := range cfg.Catalog.Services() {
 		p.services = append(p.services, svc.Name)
 	}
@@ -169,6 +269,10 @@ func (p *Population) LeakFraction() float64 { return p.cfg.LeakFraction }
 
 // EnrollmentScale returns the resolved adoption multiplier.
 func (p *Population) EnrollmentScale() float64 { return p.cfg.EnrollmentScale }
+
+// Materialized reports whether the population generates eager
+// (materialized-persona) shards instead of the default compact ones.
+func (p *Population) Materialized() bool { return p.cfg.MaterializedPersonas }
 
 // Catalog returns the ecosystem catalog enrollments refer to.
 func (p *Population) Catalog() *ecosys.Catalog { return p.catalog }
@@ -193,63 +297,136 @@ func (p *Population) ShardBounds(i int) (start, end int) {
 }
 
 // Shard materializes shard i. Shards are independent: any subset may
-// be generated, in any order, from any number of goroutines.
+// be generated, in any order, from any number of goroutines. The
+// returned shard may reuse the storage of a previously Released one.
 func (p *Population) Shard(i int) *Shard {
 	if i < 0 || i >= p.NumShards() {
 		panic(fmt.Sprintf("population: shard %d out of range [0, %d)", i, p.NumShards()))
 	}
 	start, end := p.ShardBounds(i)
-	sh := &Shard{
-		Index:       i,
-		Start:       start,
-		End:         end,
-		Subscribers: make([]Subscriber, 0, end-start),
-		Leaks:       socialdb.New(),
+	n := end - start
+	sh := p.pool.Get().(*Shard)
+	sh.Index, sh.Start, sh.End = i, start, end
+	sh.LeakCount = 0
+	sh.Leaks = nil
+	sh.enroll.Reset()
+	if cap(sh.Subscribers) < n {
+		sh.Subscribers = make([]Subscriber, n)
+	} else {
+		sh.Subscribers = sh.Subscribers[:n]
 	}
-	for idx := start; idx < end; idx++ {
-		sub := p.subscriber(idx)
-		if sub.Leaked {
-			sh.Leaks.Add(sub.Record)
+	if p.cfg.MaterializedPersonas {
+		sh.Leaks = socialdb.New()
+		for idx := start; idx < end; idx++ {
+			sub := &sh.Subscribers[idx-start]
+			p.fillEager(sub, idx)
+			if sub.Leaked {
+				sh.LeakCount++
+				sh.Leaks.Add(*sub.Record)
+			}
 		}
-		sh.Subscribers = append(sh.Subscribers, sub)
+		return sh
+	}
+	seed := uint64(p.cfg.Seed)
+	for idx := start; idx < end; idx++ {
+		sub := &sh.Subscribers[idx-start]
+		*sub = Subscriber{
+			Index: idx,
+			Ref:   p.gen.Ref(idx),
+		}
+		sub.Enrolled = p.enrollmentInto(&sh.enroll, idx)
+		if unit(mix(seed, tagLeak, uint64(idx))) < p.cfg.LeakFraction {
+			sub.Leaked = true
+			sub.Class = p.leakClass(idx)
+			sh.LeakCount++
+		}
 	}
 	return sh
 }
 
-// subscriber materializes one member, a pure function of (seed, idx).
-func (p *Population) subscriber(idx int) Subscriber {
-	sub := Subscriber{
+// fillEager materializes one member completely — the ablation path and
+// the canonical form Fingerprint hashes. Pure function of (seed, idx).
+func (p *Population) fillEager(sub *Subscriber, idx int) {
+	ref := p.gen.Ref(idx)
+	persona := ref.Persona()
+	*sub = Subscriber{
 		Index:   idx,
+		Ref:     ref,
 		IMSI:    IMSIFor(idx),
-		Persona: p.gen.Persona(idx),
+		Persona: &persona,
 	}
 	sub.Enrolled = p.enrollment(idx)
 	seed := uint64(p.cfg.Seed)
 	if unit(mix(seed, tagLeak, uint64(idx))) < p.cfg.LeakFraction {
 		sub.Leaked = true
-		sub.Record = p.leakRecord(idx, sub.Persona)
+		sub.Class = p.leakClass(idx)
+		rec := p.leakRecord(idx, persona)
+		sub.Record = &rec
 	}
-	return sub
+}
+
+// leakClass draws the source tier of a leaked subscriber.
+func (p *Population) leakClass(idx int) LeakClass {
+	if unit(mix(uint64(p.cfg.Seed), tagLeakTier, uint64(idx))) < 0.75 {
+		return LeakBreach
+	}
+	return LeakWiFi
 }
 
 // IMSIFor maps a subscriber index to its 15-digit IMSI (MCC/MNC 46000,
 // the PLMN the paper's field setup observed).
 func IMSIFor(idx int) string {
-	return fmt.Sprintf("46000%010d", idx)
+	return string(AppendIMSI(make([]byte, 0, 15), idx))
 }
 
-// enrollment draws the subscriber's service set: one independent,
+// AppendIMSI appends the 15-digit IMSI of subscriber idx — the
+// allocation-free form campaigns carve per-shard IMSI bytes with.
+func AppendIMSI(b []byte, idx int) []byte {
+	b = append(b, "46000"...)
+	var tmp [20]byte
+	d := tmp[:0]
+	for v := idx; ; {
+		d = append(d, byte('0'+v%10))
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for n := len(d); n < 10; n++ {
+		b = append(b, '0')
+	}
+	for i := len(d) - 1; i >= 0; i-- {
+		b = append(b, d[i])
+	}
+	return b
+}
+
+// enrollment draws the subscriber's service set into fresh storage.
+func (p *Population) enrollment(idx int) ServiceSet {
+	set := make(ServiceSet, p.words)
+	p.fillEnrollment(set, idx)
+	return set
+}
+
+// enrollmentInto draws the service set into a carve of the shard's
+// arena.
+func (p *Population) enrollmentInto(arena *slab.Slab[uint64], idx int) ServiceSet {
+	set := ServiceSet(arena.Grab(p.words))
+	clear(set)
+	p.fillEnrollment(set, idx)
+	return set
+}
+
+// fillEnrollment draws the subscriber's service set: one independent,
 // index-keyed draw per service, so the profile is order-independent
 // and shards need no coordination.
-func (p *Population) enrollment(idx int) ServiceSet {
-	set := make(ServiceSet, (len(p.adoption)+63)/64)
+func (p *Population) fillEnrollment(set ServiceSet, idx int) {
 	seed := uint64(p.cfg.Seed)
 	for j, rate := range p.adoption {
 		if unit(mix(seed, tagEnroll, uint64(idx), uint64(j))) < rate {
 			set[j>>6] |= 1 << (uint(j) & 63)
 		}
 	}
-	return set
 }
 
 // leakRecord builds the attacker-visible dump entry. Two tiers mirror
@@ -258,17 +435,53 @@ func (p *Population) enrollment(idx int) ServiceSet {
 func (p *Population) leakRecord(idx int, persona identity.Persona) socialdb.Record {
 	seed := uint64(p.cfg.Seed)
 	rec := socialdb.Record{Phone: persona.Phone}
-	if unit(mix(seed, tagLeakTier, uint64(idx))) < 0.75 {
-		rec.Source = "2016-breach"
+	if p.leakClass(idx) == LeakBreach {
+		rec.Source = SourceBreach
 		rec.RealName = persona.RealName
 		rec.Address = persona.Address
 		if unit(mix(seed, tagLeakDeep, uint64(idx))) < 0.40 {
 			rec.CitizenID = persona.CitizenID
 		}
 	} else {
-		rec.Source = "phishing-wifi"
+		rec.Source = SourceWiFi
 	}
 	return rec
+}
+
+// AppendLeakRecords derives the leak-database rows of every leaked
+// subscriber in sh and appends them to dst — the lazy twin of the
+// materialized Shard.Leaks store, byte-identical record for record.
+// Variable-length string fields (phone, address, citizen ID) are
+// carved from arena; names and source labels resolve to interned
+// vocabulary strings. The records are built to outlive the shard:
+// arena must never be Reset while any returned record is retained
+// (campaign harvest uses a grow-only per-worker arena), and tmp is a
+// reusable scratch buffer (may be nil).
+func (p *Population) AppendLeakRecords(dst []socialdb.Record, sh *Shard, arena *slab.Slab[byte], tmp []byte) ([]socialdb.Record, []byte) {
+	seed := uint64(p.cfg.Seed)
+	for i := range sh.Subscribers {
+		sub := &sh.Subscribers[i]
+		if !sub.Leaked {
+			continue
+		}
+		rec := socialdb.Record{}
+		tmp = sub.Ref.AppendPhone(tmp[:0])
+		rec.Phone = slab.StringOf(arena, tmp)
+		if sub.Class == LeakBreach {
+			rec.Source = SourceBreach
+			rec.RealName = sub.Ref.RealName()
+			tmp = sub.Ref.AppendAddress(tmp[:0])
+			rec.Address = slab.StringOf(arena, tmp)
+			if unit(mix(seed, tagLeakDeep, uint64(sub.Index))) < 0.40 {
+				tmp = sub.Ref.AppendCitizenID(tmp[:0])
+				rec.CitizenID = slab.StringOf(arena, tmp)
+			}
+		} else {
+			rec.Source = SourceWiFi
+		}
+		dst = append(dst, rec)
+	}
+	return dst, tmp
 }
 
 // domainAdoption is the base probability that a subscriber holds an
@@ -337,29 +550,36 @@ func (p *Population) AdoptionRates() []float64 {
 //	v1: per-persona math/rand sources.
 //	v2: identity moved to single-word splitmix streams (seeding a
 //	    rand.Source cost a 607-word table init per subscriber, ~14% of
-//	    campaign CPU at 1M subscribers).
+//	    campaign CPU at 1M subscribers). Unchanged by the lazy-persona
+//	    rework: lazy attribute derivation is draw-position-identical to
+//	    the eager builder, so the materialized bytes never moved (the
+//	    pinned-fingerprint test holds v2 digests constant).
 const FingerprintVersion = 2
 
 // Fingerprint hashes every subscriber's complete materialized state
 // (identity, persona, enrollment, leak record) into one FNV-64 digest,
 // prefixed with FingerprintVersion. Two populations with equal
 // fingerprints are byte-identical; the determinism property test pins
-// same-seed reproducibility with it.
+// same-seed reproducibility with it. The digest covers the fully
+// materialized form regardless of Config.MaterializedPersonas — the
+// lazy representation is a compression of the same bytes, and the
+// digest is also independent of shard geometry (subscribers hash in
+// index order).
 func (p *Population) Fingerprint() uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte{FingerprintVersion})
 	buf := make([]byte, 0, 512)
-	for i := 0; i < p.NumShards(); i++ {
-		sh := p.Shard(i)
-		for _, sub := range sh.Subscribers {
-			buf = appendSubscriber(buf[:0], sub)
-			_, _ = h.Write(buf)
-		}
+	var sub Subscriber
+	for idx := 0; idx < p.cfg.Size; idx++ {
+		p.fillEager(&sub, idx)
+		buf = appendSubscriber(buf[:0], sub)
+		_, _ = h.Write(buf)
 	}
 	return h.Sum64()
 }
 
-// appendSubscriber canonically serializes one subscriber.
+// appendSubscriber canonically serializes one fully materialized
+// subscriber.
 func appendSubscriber(buf []byte, sub Subscriber) []byte {
 	appendStr := func(s string) {
 		buf = append(buf, byte(len(s)>>8), byte(len(s)))
@@ -368,7 +588,7 @@ func appendSubscriber(buf []byte, sub Subscriber) []byte {
 	buf = append(buf,
 		byte(sub.Index>>24), byte(sub.Index>>16), byte(sub.Index>>8), byte(sub.Index))
 	appendStr(sub.IMSI)
-	pe := sub.Persona
+	pe := *sub.Persona
 	appendStr(pe.RealName)
 	appendStr(pe.CitizenID)
 	appendStr(pe.Phone)

@@ -7,6 +7,8 @@ import (
 
 	"github.com/actfort/actfort/internal/dataset"
 	"github.com/actfort/actfort/internal/identity"
+	"github.com/actfort/actfort/internal/slab"
+	"github.com/actfort/actfort/internal/socialdb"
 )
 
 func testPop(t *testing.T, cfg Config) *Population {
@@ -82,7 +84,7 @@ func TestShardBounds(t *testing.T) {
 }
 
 func TestSubscriberValidity(t *testing.T) {
-	p := testPop(t, Config{Seed: 3, Size: 600, ShardSize: 600})
+	p := testPop(t, Config{Seed: 3, Size: 600, ShardSize: 600, MaterializedPersonas: true})
 	sh := p.Shard(0)
 	phones := make(map[string]bool, len(sh.Subscribers))
 	numServices := p.Catalog().Len()
@@ -112,7 +114,7 @@ func TestSubscriberValidity(t *testing.T) {
 			if sub.Record.Source == "" {
 				t.Fatalf("leaked subscriber %d has no source", sub.Index)
 			}
-			if r, err := sh.Leaks.Lookup(sub.Persona.Phone); err != nil || r != sub.Record {
+			if r, err := sh.Leaks.Lookup(sub.Persona.Phone); err != nil || r != *sub.Record {
 				t.Fatalf("shard leak DB lookup = %+v, %v", r, err)
 			}
 		} else if _, err := sh.Leaks.Lookup(sub.Persona.Phone); err == nil {
@@ -144,8 +146,64 @@ func TestLeakFractionAndEnrollment(t *testing.T) {
 
 func TestLeakFractionDisabled(t *testing.T) {
 	p := testPop(t, Config{Seed: 5, Size: 500, ShardSize: 500, LeakFraction: -1})
-	if n := p.Shard(0).Leaks.Len(); n != 0 {
-		t.Fatalf("negative LeakFraction leaked %d records", n)
+	if n := p.Shard(0).LeakCount; n != 0 {
+		t.Fatalf("negative LeakFraction leaked %d subscribers", n)
+	}
+	pm := testPop(t, Config{Seed: 5, Size: 500, ShardSize: 500, LeakFraction: -1, MaterializedPersonas: true})
+	if n := pm.Shard(0).Leaks.Len(); n != 0 {
+		t.Fatalf("negative LeakFraction leaked %d records (materialized)", n)
+	}
+}
+
+// TestLazyMatchesMaterialized pins the compact representation against
+// the eager one: every derivable attribute, the leak classification
+// and the reconstructed leak records must agree byte for byte, and
+// shard recycling (Release + regenerate) must not perturb any of it.
+func TestLazyMatchesMaterialized(t *testing.T) {
+	cfg := Config{Seed: 9, Size: 1200, ShardSize: 500}
+	lazy := testPop(t, cfg)
+	cfg.MaterializedPersonas = true
+	eager := testPop(t, cfg)
+
+	var arena slab.Slab[byte]
+	var tmp []byte
+	for i := 0; i < lazy.NumShards(); i++ {
+		// Generate and immediately release once, so the compared shard
+		// exercises the pooled-storage path.
+		lazy.Shard(i).Release()
+		ls, es := lazy.Shard(i), eager.Shard(i)
+		if ls.LeakCount != es.LeakCount || ls.LeakCount != es.Leaks.Len() {
+			t.Fatalf("shard %d: LeakCount lazy=%d eager=%d store=%d", i, ls.LeakCount, es.LeakCount, es.Leaks.Len())
+		}
+		var want []socialdb.Record
+		for j := range ls.Subscribers {
+			lsub, esub := &ls.Subscribers[j], &es.Subscribers[j]
+			if lsub.Index != esub.Index || lsub.Leaked != esub.Leaked || lsub.Class != esub.Class {
+				t.Fatalf("shard %d sub %d: flag mismatch lazy=%+v eager=%+v", i, j, lsub, esub)
+			}
+			if !reflect.DeepEqual(lsub.Enrolled, esub.Enrolled) {
+				t.Fatalf("shard %d sub %d: enrollment mismatch", i, j)
+			}
+			if got := string(lsub.AppendIMSI(nil)); got != esub.IMSI {
+				t.Fatalf("sub %d: IMSI %q != %q", lsub.Index, got, esub.IMSI)
+			}
+			if got := string(lsub.Ref.AppendPhone(nil)); got != esub.Persona.Phone {
+				t.Fatalf("sub %d: phone %q != %q", lsub.Index, got, esub.Persona.Phone)
+			}
+			if got := lsub.Ref.Persona(); !reflect.DeepEqual(got, *esub.Persona) {
+				t.Fatalf("sub %d: persona mismatch\nlazy  %+v\neager %+v", lsub.Index, got, esub.Persona)
+			}
+			if esub.Leaked {
+				want = append(want, *esub.Record)
+			}
+		}
+		var got []socialdb.Record
+		got, tmp = lazy.AppendLeakRecords(got, ls, &arena, tmp)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d: AppendLeakRecords mismatch (%d vs %d records)", i, len(got), len(want))
+		}
+		ls.Release()
+		es.Release()
 	}
 }
 

@@ -7,6 +7,8 @@
 // stable size allocates nothing.
 package slab
 
+import "unsafe"
+
 // minBlock is the smallest backing block, in elements. Doubling from
 // here reaches any realistic batch size within a few early grows.
 const minBlock = 1 << 12
@@ -45,3 +47,24 @@ func (s *Slab[T]) GrabEmpty(n int) []T {
 
 // Reset empties the slab for reuse, keeping the largest block.
 func (s *Slab[T]) Reset() { s.buf = s.buf[:0] }
+
+// Len reports the elements carved from the current block since the
+// last Reset (earlier, retired blocks are not counted) — the live
+// arena footprint the memory gauges read.
+func (s *Slab[T]) Len() int { return len(s.buf) }
+
+// StringOf copies b into a carve of the byte arena and returns it as a
+// string headed directly at the carve — no per-string allocation, only
+// the arena's amortized block growth. The string obeys carve
+// lifetime: valid until the arena's Reset, and, like any carve, it
+// keeps its backing block alive if retained past a block replacement.
+// Callers owning a Reset cycle (per-shard arenas) must not let such
+// strings escape the cycle.
+func StringOf(s *Slab[byte], b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	c := s.Grab(len(b))
+	copy(c, b)
+	return unsafe.String(&c[0], len(c))
+}

@@ -17,6 +17,8 @@ package socialdb
 import (
 	"errors"
 	"sync"
+
+	"github.com/actfort/actfort/internal/intern"
 )
 
 // Record is one leaked entry keyed by phone number.
@@ -67,12 +69,32 @@ func New() *DB {
 }
 
 // Add inserts or replaces a record (last write wins, as merged dumps
-// behave).
+// behave). The source label is interned: every record of a provenance
+// tier aliases one canonical string, however many dumps it arrives in.
 func (d *DB) Add(r Record) {
+	r.Source = intern.String(r.Source)
 	s := &d.shards[shardOf(r.Phone)]
 	s.mu.Lock()
 	s.byPhone[r.Phone] = r
 	s.mu.Unlock()
+}
+
+// AddAll bulk-inserts records, grouping lock acquisitions: each bucket
+// is locked once per distinct bucket hit instead of once per record.
+// The campaign's lazy harvest ingests whole shards of reconstructed
+// leak records through this.
+func (d *DB) AddAll(recs []Record) {
+	for i := 0; i < len(recs); {
+		b := shardOf(recs[i].Phone)
+		s := &d.shards[b]
+		s.mu.Lock()
+		for ; i < len(recs) && shardOf(recs[i].Phone) == b; i++ {
+			r := recs[i]
+			r.Source = intern.String(r.Source)
+			s.byPhone[r.Phone] = r
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Lookup fetches the record for a phone number.
@@ -80,6 +102,25 @@ func (d *DB) Lookup(phone string) (Record, error) {
 	s := &d.shards[shardOf(phone)]
 	s.mu.RLock()
 	r, ok := s.byPhone[phone]
+	s.mu.RUnlock()
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return r, nil
+}
+
+// LookupBytes is Lookup keyed by raw phone bytes, for callers probing
+// with reusable scratch buffers: the []byte→string conversion stays
+// inside the map index expression, which Go compiles without a copy,
+// so the hit and miss paths both allocate nothing.
+func (d *DB) LookupBytes(phone []byte) (Record, error) {
+	h := uint32(2166136261)
+	for i := 0; i < len(phone); i++ {
+		h = (h ^ uint32(phone[i])) * 16777619
+	}
+	s := &d.shards[h&(NumShards-1)]
+	s.mu.RLock()
+	r, ok := s.byPhone[string(phone)]
 	s.mu.RUnlock()
 	if !ok {
 		return Record{}, ErrNotFound
@@ -99,21 +140,30 @@ func (d *DB) Len() int {
 	return n
 }
 
+// mergeStage pools the per-bucket staging slice Merge copies records
+// through, so repeated shard merges recycle one buffer instead of
+// allocating per bucket.
+var mergeStage = sync.Pool{New: func() any { s := make([]Record, 0, 256); return &s }}
+
 // Merge copies every record of src into d (last write wins). Campaign
 // ingestion merges per-shard dumps into one global store with it.
 func (d *DB) Merge(src *DB) {
+	stage := mergeStage.Get().(*[]Record)
 	for i := range src.shards {
 		s := &src.shards[i]
 		s.mu.RLock()
-		recs := make([]Record, 0, len(s.byPhone))
+		recs := (*stage)[:0]
 		for _, r := range s.byPhone {
 			recs = append(recs, r)
 		}
 		s.mu.RUnlock()
+		*stage = recs
 		for _, r := range recs {
 			d.Add(r)
 		}
 	}
+	clear(*stage)
+	mergeStage.Put(stage)
 }
 
 // PhishingWiFi is the random-attack harvester: a fake access point at
