@@ -431,44 +431,51 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 }
 
 // E17 — fortification sweep throughput: the paper's defense
-// evaluation (baseline vs fortified catalog vs A5/3 radio upgrade)
-// over ONE shared population, ONE shared TMTO table and a pooled rig
-// set, in a single process. The metric is scenario-victims/s: total
-// (subscribers × scenarios) evaluated per second — the number that has
-// to hold up when a sweep re-runs millions of subscribers per policy
-// candidate.
+// evaluation (baseline vs fortified catalog vs A5/3 radio upgrade vs a
+// budget-constrained attacker) over ONE shared population, ONE shared
+// TMTO table and a pooled rig set, in a single process. The metric is
+// scenario-victims/s: total (subscribers × scenarios) evaluated per
+// second — the number that has to hold up when a sweep re-runs
+// millions of subscribers per policy candidate. The parallel dimension
+// overlaps scenarios under the same Workers-bounded shard budget; on a
+// multi-core host parallel=4 beats parallel=1 whenever a single
+// scenario's shard count cannot saturate the budget (results are
+// byte-identical either way, so this is pure wall-clock).
 func BenchmarkScenarioSweep(b *testing.B) {
+	scenarios := append(campaign.DefaultSweep(),
+		campaign.Scenario{Name: "budget", Budget: campaign.AttackerBudget{Receivers: 4, CellChannels: 16}})
 	for _, size := range []int{10_000, 100_000} {
-		b.Run(fmt.Sprintf("subscribers=%d/scenarios=3", size), func(b *testing.B) {
-			pop, err := population.New(population.Config{Seed: 42, Size: size})
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng, err := campaign.New(campaign.Config{Population: pop, KeyBits: 12})
-			if err != nil {
-				b.Fatal(err)
-			}
-			scenarios := campaign.DefaultSweep()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sw, err := eng.RunSweep(context.Background(), scenarios)
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("subscribers=%d/scenarios=%d/parallel=%d", size, len(scenarios), par), func(b *testing.B) {
+				pop, err := population.New(population.Config{Seed: 42, Size: size})
 				if err != nil {
 					b.Fatal(err)
 				}
-				base, fort := sw.Results[0].Summary, sw.Results[1].Summary
-				if fort.AccountsCompromised >= base.AccountsCompromised {
-					b.Fatal("fortified catalog did not reduce takeover mass")
+				eng, err := campaign.New(campaign.Config{Population: pop, KeyBits: 12, SweepParallel: par})
+				if err != nil {
+					b.Fatal(err)
 				}
-			}
-			b.StopTimer()
-			total := float64(size*len(scenarios)) * float64(b.N)
-			b.ReportMetric(total/b.Elapsed().Seconds(), "scenario-victims/s")
-			// Per-iteration rig constructions: the pool rebuilds only
-			// when the radio environment changes, so this stays near
-			// workers × distinct radio signatures, not shards × scenarios.
-			b.ReportMetric(float64(eng.RigsBuilt())/float64(b.N), "rigs-built/op")
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sw, err := eng.RunSweep(context.Background(), scenarios)
+					if err != nil {
+						b.Fatal(err)
+					}
+					base, fort := sw.Results[0].Summary, sw.Results[1].Summary
+					if fort.AccountsCompromised >= base.AccountsCompromised {
+						b.Fatal("fortified catalog did not reduce takeover mass")
+					}
+				}
+				b.StopTimer()
+				total := float64(size*len(scenarios)) * float64(b.N)
+				b.ReportMetric(total/b.Elapsed().Seconds(), "scenario-victims/s")
+				// Per-iteration rig constructions: the pool rebuilds only
+				// when the radio environment changes, so this stays near
+				// workers × distinct radio signatures, not shards × scenarios.
+				b.ReportMetric(float64(eng.RigsBuilt())/float64(b.N), "rigs-built/op")
+			})
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -80,9 +81,10 @@ func main() {
 		segLeak    = flag.String("segment-leak", "", "restrict victims to a leak cohort: leaked, clean, breach or wifi")
 
 		// Sweep mode.
-		sweep        = flag.Bool("sweep", false, "run a comparative scenario sweep over one shared population")
-		scenarios    = flag.String("scenarios", "", "with -sweep: comma-separated built-in scenario names (empty = baseline,fortified,a53-mix)")
-		scenarioFile = flag.String("scenario-file", "", "with -sweep: JSON file holding the scenario list (overrides -scenarios)")
+		sweep         = flag.Bool("sweep", false, "run a comparative scenario sweep over one shared population")
+		scenarios     = flag.String("scenarios", "", "with -sweep: comma-separated built-in scenario names (empty = baseline,fortified,a53-mix)")
+		scenarioFile  = flag.String("scenario-file", "", "with -sweep: JSON file holding the scenario list (overrides -scenarios)")
+		sweepParallel = flag.Int("sweep-parallel", 1, "with -sweep: scenarios in flight at once, sharing the one -workers shard budget (1 = sequential; results are identical either way)")
 
 		// Durability and multi-process sharding.
 		ckptDir       = flag.String("checkpoint-dir", "", "journal completed shards under this directory; rerunning resumes from the last journaled shard")
@@ -153,7 +155,8 @@ func main() {
 			Segment: campaign.VictimSegment{Domain: *segDomain, LeakTier: *segLeak},
 		},
 		sweep: *sweep, scenarios: *scenarios, scenarioFile: *scenarioFile,
-		ckptDir: *ckptDir, snapshotEvery: *snapshotEvery, shardRange: *shardRange, merge: *merge,
+		sweepParallel: *sweepParallel,
+		ckptDir:       *ckptDir, snapshotEvery: *snapshotEvery, shardRange: *shardRange, merge: *merge,
 		faultCrash: *faultCrash, faultTransient: *faultTransient,
 		faultPoison: *faultPoison, faultSeed: *faultSeed,
 		shardAttempts: *shardAttempts, retryBackoff: *retryBackoff, retryMax: *retryMax,
@@ -187,6 +190,7 @@ type runCfg struct {
 	sweep                                         bool
 	scenarios                                     string
 	scenarioFile                                  string
+	sweepParallel                                 int
 
 	ckptDir        string
 	snapshotEvery  int
@@ -381,14 +385,37 @@ func run(c runCfg) error {
 		return err
 	}
 
+	// Progress lines: single runs report bare percentages; sweeps use
+	// the scenario-aware hook so interleaved lines from overlapping
+	// scenarios (-sweep-parallel) stay attributable. The per-scenario
+	// threshold state sits behind a mutex because parallel scenarios
+	// report concurrently.
 	progress := func(done, total int) {}
-	if !c.quiet {
+	scenarioProgress := func(string, int, int) {}
+	if !c.quiet && !c.sweep {
 		lastPct := -1
 		progress = func(done, total int) {
 			pct := done * 100 / total
 			if pct/5 > lastPct/5 || done == total {
 				lastPct = pct
 				fmt.Fprintf(os.Stderr, "campaign: %d/%d subscribers (%d%%)\n", done, total, pct)
+			}
+		}
+	}
+	if !c.quiet && c.sweep {
+		var mu sync.Mutex
+		lastPct := map[string]int{}
+		scenarioProgress = func(scenario string, done, total int) {
+			pct := done * 100 / total
+			mu.Lock()
+			defer mu.Unlock()
+			last, ok := lastPct[scenario]
+			if !ok {
+				last = -1
+			}
+			if pct/20 > last/20 || done == total {
+				lastPct[scenario] = pct
+				fmt.Fprintf(os.Stderr, "campaign: [%s] %d/%d subscribers (%d%%)\n", scenario, done, total, pct)
 			}
 		}
 	}
@@ -403,6 +430,8 @@ func run(c runCfg) error {
 		Backend:          c.backend,
 		KeyBits:          c.keyBits,
 		Progress:         progress,
+		ScenarioProgress: scenarioProgress,
+		SweepParallel:    c.sweepParallel,
 		MaxShardAttempts: c.shardAttempts,
 		RetryBackoff:     c.retryBackoff,
 		RetryBackoffMax:  c.retryMax,

@@ -19,9 +19,9 @@
 //     per-shard passive sniffer rig — batched sniffer sessions;
 //   - all rigs share ONE A5/1 cracker backend, so a single precomputed
 //     TMTO table is amortized across the entire population AND across
-//     every scenario of a sweep; rigs themselves are pooled and reused
-//     between shards and between scenarios with an unchanged radio
-//     environment;
+//     every scenario of a sweep; rigs themselves are pooled by
+//     radio-environment signature and reused between shards and between
+//     scenarios — including concurrent scenarios mixing environments;
 //   - harvested leak records live in one sharded socialdb hit by every
 //     worker concurrently;
 //   - per-victim chain reactions are evaluated against a precompiled
@@ -95,8 +95,23 @@ type Config struct {
 	// full-coverage 16-receiver fleet, whole population).
 	Scenario Scenario
 	// Progress, when non-nil, receives (subscribersDone, total) after
-	// every merged shard of the scenario currently running.
+	// every merged shard of the scenario currently running. Under a
+	// parallel sweep the callbacks of overlapping scenarios interleave;
+	// ScenarioProgress carries the scenario identity.
 	Progress func(done, total int)
+	// ScenarioProgress, when non-nil, receives (scenario, done, total)
+	// after every merged shard — the scenario-aware form of Progress,
+	// unambiguous when SweepParallel overlaps runs. Both callbacks fire
+	// when both are set. Callbacks of concurrent scenarios may arrive
+	// concurrently; the callee synchronizes.
+	ScenarioProgress func(scenario string, done, total int)
+	// SweepParallel bounds how many sweep scenarios RunSweep keeps in
+	// flight at once (0 or 1 = sequential, the default). However many
+	// scenarios overlap, their shard work shares the one Workers-bounded
+	// budget, so parallelism overlaps a scenario's tail (aggregation,
+	// stragglers) with the next scenario's start instead of
+	// oversubscribing the machine.
+	SweepParallel int
 
 	// Checkpoint, when non-nil, makes runs durable: every completed
 	// shard is journaled, periodic snapshots fold the journal away, and
@@ -128,8 +143,14 @@ type Config struct {
 	Trace *obs.TraceWriter
 }
 
-// Engine owns the shared campaign state. Build with New, execute one
-// scenario with Run/RunScenario or a comparative list with RunSweep.
+// Engine is the resident core: the shared resources every scenario —
+// sequential or concurrent — draws on. Everything here is either
+// immutable after New (population, cracker table, key space) or
+// guarded for concurrent use (plan cache, leak DB, rig pool, shard
+// budget), so RunScenario is safe to call from multiple goroutines at
+// once; all per-run state lives in the run type. Build with New,
+// execute one scenario with Run/RunScenario or a comparative list with
+// RunSweep.
 type Engine struct {
 	cfg     Config
 	space   a51.KeySpace
@@ -137,23 +158,34 @@ type Engine struct {
 	// leaks is the attacker's merged leak database, assembled during
 	// the harvest phase and hit concurrently by every attack worker.
 	// It persists across sweep scenarios: the records are population
-	// facts, independent of any scenario knob. harvested marks shards
-	// already merged, so later scenarios skip the redundant rewrite.
-	leaks     *socialdb.DB
-	harvested []atomic.Bool
+	// facts, independent of any scenario knob. harvest gates each
+	// shard's merge behind a sync.Once, so later scenarios skip the
+	// redundant rewrite — and a concurrent scenario reaching the shard
+	// first blocks until the insert completes instead of racing past a
+	// half-set flag into lookups over missing records.
+	leaks   *socialdb.DB
+	harvest []sync.Once
 
 	// plans caches compiled attack plans by (policy, platform): a sweep
 	// comparing radio environments under one policy compiles once.
 	planMu sync.Mutex
 	plans  map[planKey]*attackPlan
 
-	// The rig pool: free sniffer rigs reusable by any worker, valid
-	// while the radio-environment signature is unchanged. rigsBuilt
-	// counts constructions so tests can pin reuse.
+	// The rig pool: free sniffer rigs reusable by any worker, keyed by
+	// radio-environment signature (a rig is re-tuned state; only an
+	// identical environment can reuse it). Keying — rather than the old
+	// single last-signature pool — keeps rigs warm when concurrent or
+	// alternating scenarios mix environments instead of thrashing the
+	// whole pool on every switch. rigsBuilt counts constructions so
+	// tests can pin reuse.
 	rigMu     sync.Mutex
-	rigSig    string
-	rigFree   []*sniffer.Sniffer
+	rigFree   map[string][]*sniffer.Sniffer
 	rigsBuilt atomic.Int64
+
+	// shardSem is the engine-wide shard-worker budget: every worker of
+	// every in-flight run acquires a slot per shard, so N overlapping
+	// scenarios still run at most cfg.Workers shards at a time.
+	shardSem chan struct{}
 }
 
 // planKey identifies one compiled plan.
@@ -186,11 +218,13 @@ func New(cfg Config) (*Engine, error) {
 			cfg.ShardLo, cfg.ShardHi, num)
 	}
 	e := &Engine{
-		cfg:       cfg,
-		space:     a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
-		leaks:     socialdb.New(),
-		harvested: make([]atomic.Bool, cfg.Population.NumShards()),
-		plans:     make(map[planKey]*attackPlan),
+		cfg:      cfg,
+		space:    a51.KeySpace{Base: 0xC118000000000000, Bits: cfg.KeyBits},
+		leaks:    socialdb.New(),
+		harvest:  make([]sync.Once, cfg.Population.NumShards()),
+		plans:    make(map[planKey]*attackPlan),
+		rigFree:  make(map[string][]*sniffer.Sniffer),
+		shardSem: make(chan struct{}, cfg.Workers),
 	}
 	var err error
 	e.cracker = cfg.Cracker
@@ -277,36 +311,38 @@ func (e *Engine) plan(sc Scenario) (*attackPlan, error) {
 }
 
 // rig hands out a pooled sniffer rig for the given radio signature,
-// building one when the pool is dry or the signature changed (a new
-// radio environment means re-tuned receivers). Rigs only ever serve
-// one worker at a time.
-func (e *Engine) rig(net *telecom.Network, sig string) *sniffer.Sniffer {
+// building one when that environment's pool is dry (a new radio
+// environment means re-tuned receivers, so rigs are only reusable
+// under the signature that built them). Rigs only ever serve one
+// worker at a time; crackObs, when non-nil, receives the rig's
+// batched-crack durations for the duration of the checkout.
+func (e *Engine) rig(net *telecom.Network, sig string, crackObs *obs.Histogram) *sniffer.Sniffer {
 	e.rigMu.Lock()
-	if e.rigSig != sig {
-		e.rigFree = nil
-		e.rigSig = sig
-	}
-	if n := len(e.rigFree); n > 0 {
-		r := e.rigFree[n-1]
-		e.rigFree = e.rigFree[:n-1]
+	free := e.rigFree[sig]
+	if n := len(free); n > 0 {
+		r := free[n-1]
+		e.rigFree[sig] = free[:n-1]
 		e.rigMu.Unlock()
 		metRigsReused.Inc()
+		r.SetCrackObserver(crackObs)
 		return r
 	}
 	e.rigMu.Unlock()
 	e.rigsBuilt.Add(1)
 	metRigsBuilt.Inc()
-	return sniffer.New(net, sniffer.Config{Cracker: e.cracker, ScalarReplay: e.cfg.ScalarReplay})
+	r := sniffer.New(net, sniffer.Config{Cracker: e.cracker, ScalarReplay: e.cfg.ScalarReplay})
+	r.SetCrackObserver(crackObs)
+	return r
 }
 
-// releaseRig resets a rig and returns it to the pool, unless the radio
-// environment moved on while the worker held it.
+// releaseRig resets a rig, detaches the run-local crack observer, and
+// returns it to its signature's pool for the next worker of any run
+// sharing that radio environment.
 func (e *Engine) releaseRig(r *sniffer.Sniffer, sig string) {
 	r.Reset()
+	r.SetCrackObserver(nil)
 	e.rigMu.Lock()
-	if e.rigSig == sig {
-		e.rigFree = append(e.rigFree, r)
-	}
+	e.rigFree[sig] = append(e.rigFree[sig], r)
 	e.rigMu.Unlock()
 }
 
@@ -320,6 +356,9 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 // summaries into one aggregate. The returned Summary is deterministic
 // for a fixed config apart from Duration/VictimsPerSec — including
 // across kill-and-resume boundaries when a Checkpoint is configured.
+// RunScenario is safe to call concurrently: each call builds its own
+// run over the engine's shared core, and overlapping calls share the
+// Workers-bounded shard budget.
 func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error) {
 	dir := ""
 	if e.cfg.Checkpoint != nil {
@@ -328,33 +367,46 @@ func (e *Engine) RunScenario(ctx context.Context, sc Scenario) (*Summary, error)
 	return e.runScenario(ctx, sc, dir)
 }
 
+// run is the per-run half of the engine split: everything one
+// executing scenario owns alone — the normalized scenario and its
+// runtime view, the compiled plan (shared and read-only, cached on the
+// engine), the checkpoint handle, the run-local phase histograms and
+// the bound progress callback. The Engine holds only shared state;
+// a run is built per RunScenario call and dies with it, which is what
+// makes overlapping calls safe.
+type run struct {
+	e      *Engine
+	norm   Scenario
+	rt     *runtimeScenario
+	plan   *attackPlan
+	ck     *ckptRun
+	phases *phaseSet
+}
+
 // runScenario is RunScenario with an explicit checkpoint directory, so
 // a sweep can give each scenario its own subdirectory.
 func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Summary, error) {
 	start := time.Now()
-	base := takePhaseSnapshot()
 	norm, err := sc.normalize(0)
 	if err != nil {
 		return nil, err
 	}
 	e.cfg.Trace.Emit(obs.TraceEvent{Event: "run_start", Shard: -1, Detail: norm.Name})
-	plan, err := e.plan(norm)
-	if err != nil {
+	r := &run{e: e, norm: norm, phases: newPhaseSet()}
+	if r.plan, err = e.plan(norm); err != nil {
 		return nil, err
 	}
-	rt, err := e.newRuntime(norm)
-	if err != nil {
+	if r.rt, err = e.newRuntime(norm); err != nil {
 		return nil, err
 	}
-	var ck *ckptRun
 	if dir != "" {
-		ck, err = e.openCheckpoint(dir, norm)
+		r.ck, err = e.openCheckpoint(dir, norm)
 		if err != nil {
 			return nil, err
 		}
-		defer ck.j.Close()
+		defer r.ck.j.Close()
 	}
-	sum, err := e.attack(ctx, rt, plan, ck)
+	sum, err := r.attack(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -371,24 +423,24 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, dir string) (*Sum
 	// overstating resumed runs' rates by the resumed fraction.
 	sum.ActiveDuration = sum.Duration
 	sum.ResumeVictimsPerSec = 0
-	if ck != nil {
-		sum.ActiveDuration = ck.activePrior + sum.Duration
-		if ck.resumed {
+	if r.ck != nil {
+		sum.ActiveDuration = r.ck.activePrior + sum.Duration
+		if r.ck.resumed {
 			if secs := sum.Duration.Seconds(); secs > 0 {
-				sum.ResumeVictimsPerSec = float64(sum.Subscribers-ck.subsPrior) / secs
+				sum.ResumeVictimsPerSec = float64(sum.Subscribers-r.ck.subsPrior) / secs
 			}
 		}
 	}
 	if secs := sum.ActiveDuration.Seconds(); secs > 0 {
 		sum.VictimsPerSec = float64(sum.Subscribers) / secs
 	}
-	sum.PhaseTimings = phaseTimingsSince(base)
-	if ck != nil {
+	sum.PhaseTimings = r.phases.timings()
+	if r.ck != nil {
 		payload, err := json.Marshal(sum)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: encode final summary: %w", err)
 		}
-		if err := ck.j.WriteResult(payload); err != nil {
+		if err := r.ck.j.WriteResult(payload); err != nil {
 			return nil, err
 		}
 	}
@@ -475,15 +527,17 @@ type shardResult struct {
 }
 
 // attack streams every owned, not-yet-journaled shard through the
-// worker pool and aggregates the partial summaries. With a checkpoint,
-// the aggregator (the journal's single owner) appends each merged part
-// and folds periodic snapshots; a journal failure — including an
-// injected crash — cancels the run and drains the pool so no worker
-// goroutine outlives the call.
-func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPlan, ck *ckptRun) (*Summary, error) {
+// run's worker pool and aggregates the partial summaries. Each worker
+// acquires one slot of the engine-wide shard budget per shard, so
+// concurrent runs collectively never exceed cfg.Workers shards in
+// flight. With a checkpoint, the aggregator (the journal's single
+// owner) appends each merged part and folds periodic snapshots; a
+// journal failure — including an injected crash — cancels the run and
+// drains the pool so no worker goroutine outlives the call.
+func (r *run) attack(ctx context.Context) (*Summary, error) {
+	e := r.e
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	runStart := time.Now()
 	pop := e.cfg.Population
 	numServices := len(pop.Services())
 	shards := make(chan int)
@@ -494,7 +548,7 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scr := newScratch(plan)
+			scr := newScratch(r.plan)
 			defer scr.release()
 			// A shell network per worker: the rig only needs the key
 			// space; no cells, no subscribers, no global lock shared
@@ -504,7 +558,13 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 				Seed:     pop.Seed(),
 			})
 			for i := range shards {
-				part := e.runShard(ctx, i, net, scr, rt, plan)
+				select {
+				case e.shardSem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				part := r.runShard(ctx, i, net, scr)
+				<-e.shardSem
 				if part == nil {
 					return // canceled mid-retry
 				}
@@ -517,8 +577,8 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 		}()
 	}
 	var skip []bool
-	if ck != nil {
-		skip = ck.done
+	if r.ck != nil {
+		skip = r.ck.done
 	}
 	feedErr := make(chan error, 1)
 	go func() {
@@ -528,32 +588,31 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 	}()
 
 	sum := newSummary(numServices)
-	shardsDone := 0
-	if ck != nil {
-		sum = ck.seed
-		for _, d := range ck.done {
+	seedShards := 0
+	if r.ck != nil {
+		sum = r.ck.seed
+		for _, d := range r.ck.done {
 			if d {
-				shardsDone++
+				seedShards++
 			}
 		}
 	}
-	subs0 := sum.Subscribers
-	metRunShardsTotal.Set(float64(e.cfg.ShardHi - e.cfg.ShardLo))
-	metRunSubsTotal.Set(float64(pop.Size()))
-	gauges := func() {
-		metRunShardsDone.Set(float64(shardsDone))
-		metRunSubsDone.Set(float64(sum.Subscribers + sum.SubscribersSkipped))
-		if el := time.Since(runStart).Seconds(); el > 0 {
-			metVictimsPerSec.Set(float64(sum.Subscribers-subs0) / el)
-		}
-		if tot := sum.Subscribers + sum.SubscribersSkipped; tot > 0 {
-			metCoverage.Set(float64(sum.Subscribers) / float64(tot))
-		}
-	}
-	gauges()
+	subs0, skip0 := sum.Subscribers, sum.SubscribersSkipped
+	shardsTotal := int64(e.cfg.ShardHi - e.cfg.ShardLo)
+	subsTotal := int64(pop.Size())
+	mergedShards := 0
+	prog.attach(shardsTotal, subsTotal, int64(seedShards), subs0, skip0)
+	defer func() {
+		prog.detach(shardsTotal, subsTotal, int64(seedShards+mergedShards),
+			sum.Subscribers, sum.SubscribersSkipped, sum.Subscribers-subs0)
+	}()
 	progress := func() {
+		done := int(sum.Subscribers + sum.SubscribersSkipped)
 		if e.cfg.Progress != nil {
-			e.cfg.Progress(int(sum.Subscribers+sum.SubscribersSkipped), pop.Size())
+			e.cfg.Progress(done, pop.Size())
+		}
+		if e.cfg.ScenarioProgress != nil {
+			e.cfg.ScenarioProgress(r.norm.Name, done, pop.Size())
 		}
 	}
 	if sum.Subscribers+sum.SubscribersSkipped > 0 {
@@ -566,18 +625,18 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 		}
 		aggStart := time.Now()
 		sum.Merge(res.part)
-		shardsDone++
-		gauges()
+		mergedShards++
+		prog.merge(res.part.Subscribers, res.part.SubscribersSkipped)
 		progress()
-		if ck != nil {
-			if err := e.journalShard(ck, res.shard, res.part, sum); err != nil {
+		if r.ck != nil {
+			if err := r.journalShard(res.shard, res.part, sum); err != nil {
 				runErr = err
 				cancel()
 			} else {
 				metShardsJournaled.Inc()
 			}
 		}
-		phaseHists["aggregate"].ObserveSince(aggStart)
+		r.phases.observe("aggregate", aggStart)
 	}
 	ferr := <-feedErr
 	if runErr != nil {
@@ -595,7 +654,8 @@ func (e *Engine) attack(ctx context.Context, rt *runtimeScenario, plan *attackPl
 // Each snapshot carries the run's cumulative active duration so far,
 // so a resuming process can keep accounting wall clock across the
 // crash boundary instead of restarting the throughput denominator.
-func (e *Engine) journalShard(ck *ckptRun, shard int, part, sum *Summary) error {
+func (r *run) journalShard(shard int, part, sum *Summary) error {
+	ck := r.ck
 	payload, err := json.Marshal(part)
 	if err != nil {
 		return fmt.Errorf("campaign: encode shard %d summary: %w", shard, err)
@@ -603,7 +663,7 @@ func (e *Engine) journalShard(ck *ckptRun, shard int, part, sum *Summary) error 
 	if err := ck.j.Append(shard, payload); err != nil {
 		return err
 	}
-	e.cfg.Trace.Emit(obs.TraceEvent{Event: "journal_append", Shard: shard, Subscribers: part.Subscribers})
+	r.e.cfg.Trace.Emit(obs.TraceEvent{Event: "journal_append", Shard: shard, Subscribers: part.Subscribers})
 	if !ck.j.Due() {
 		return nil
 	}
@@ -615,8 +675,8 @@ func (e *Engine) journalShard(ck *ckptRun, shard int, part, sum *Summary) error 
 	if err := ck.j.Snapshot(snap); err != nil {
 		return err
 	}
-	e.cfg.Trace.Emit(obs.TraceEvent{Event: "snapshot", Shard: -1})
-	e.cfg.Trace.Flush()
+	r.e.cfg.Trace.Emit(obs.TraceEvent{Event: "snapshot", Shard: -1})
+	r.e.cfg.Trace.Flush()
 	return nil
 }
 
@@ -626,7 +686,8 @@ func (e *Engine) journalShard(ck *ckptRun, shard int, part, sum *Summary) error 
 // quarantine summary — the shard's subscribers are counted as skipped
 // and the run continues, reporting an explicit coverage fraction
 // instead of aborting. A nil return means ctx was canceled mid-retry.
-func (e *Engine) runShard(ctx context.Context, i int, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
+func (r *run) runShard(ctx context.Context, i int, net *telecom.Network, scr *scratch) *Summary {
+	e := r.e
 	pop := e.cfg.Population
 	for attempt := 0; ; attempt++ {
 		metShardsStarted.Inc()
@@ -634,7 +695,7 @@ func (e *Engine) runShard(ctx context.Context, i int, net *telecom.Network, scr 
 		err := e.cfg.Fault.ShardAttempt(i, attempt)
 		if err == nil {
 			sh := pop.Shard(i)
-			part := e.attackShard(sh, net, scr, rt, plan)
+			part := r.attackShard(sh, net, scr)
 			sh.Release()
 			e.cfg.Trace.Emit(obs.TraceEvent{Event: "shard_done", Shard: i, Attempt: attempt, Subscribers: part.Subscribers})
 			return part
@@ -709,7 +770,8 @@ const baseARFCN = 512
 // 64-lane bitsliced blocks, feed the bursts to a pooled sniffer rig
 // backed by the shared cracker, then evaluate the chain reaction for
 // each intercepted victim against the scenario's compiled plan.
-func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch, rt *runtimeScenario, plan *attackPlan) *Summary {
+func (r *run) attackShard(sh *population.Shard, net *telecom.Network, scr *scratch) *Summary {
+	e, rt, plan := r.e, r.rt, r.plan
 	pop := e.cfg.Population
 	part := newSummary(len(pop.Services()))
 	part.Subscribers = int64(len(sh.Subscribers))
@@ -729,15 +791,18 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	// rebuilt from the draw streams into the worker's pooled record
 	// buffer, their strings carved from the worker's durable arena
 	// (never reset — the global DB retains them for the engine's
-	// lifetime), and bulk-inserted.
-	if e.harvested[sh.Index].CompareAndSwap(false, true) {
+	// lifetime), and bulk-inserted. The sync.Once gate (not a swapped
+	// flag) makes a concurrent run's worker reaching this shard block
+	// until the insert completes, so its closure-phase lookups never
+	// see a half-harvested shard.
+	e.harvest[sh.Index].Do(func() {
 		if lazy {
 			scr.leakRecs, scr.phone = pop.AppendLeakRecords(scr.leakRecs[:0], sh, &scr.durable, scr.phone)
 			e.leaks.AddAll(scr.leakRecs)
 		} else {
 			e.leaks.Merge(sh.Leaks)
 		}
-	}
+	})
 	// Per-shard leak accounting (persona phones are unique, so summing
 	// shard counts equals the merged DB size): the count lands in the
 	// journaled partial, which keeps resumed and multi-process runs
@@ -749,7 +814,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 	// resets before this worker's next shard reuses the arena.
 	scr.strs.Reset()
 
-	rig := e.rig(net, rt.sig)
+	rig := e.rig(net, rt.sig, r.phases.crack())
 	defer e.releaseRig(rig, rt.sig)
 	synthStart := time.Now()
 	seed := uint64(e.cfg.Population.Seed())
@@ -841,7 +906,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		}
 	}
 	scr.radio = batch // keep the grown buffer for the next shard
-	phaseHists["synth"].ObserveSince(synthStart)
+	r.phases.observe("synth", synthStart)
 
 	// Encrypt phase: the whole shard's A5/1 bursts run through the
 	// 64-lane bitsliced encryptor, then the rig hears every burst in
@@ -860,7 +925,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 				rig.Feed(b)
 			}
 		}
-		phaseHists["encrypt"].ObserveSince(encStart)
+		r.phases.observe("encrypt", encStart)
 	} else if len(batch) > 0 {
 		// The flat trace lives in the worker's pooled burst buffer:
 		// FeedBatch copies what it keeps and campaign traffic is
@@ -874,10 +939,10 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 			// break the batch≡scalar Summary contract undetected.
 			panic(fmt.Sprintf("campaign: batch encode of pre-validated sessions failed: %v", err))
 		}
-		phaseHists["encrypt"].ObserveSince(encStart)
+		r.phases.observe("encrypt", encStart)
 		feedStart := time.Now()
 		rig.FeedBatch(flat)
-		phaseHists["feed"].ObserveSince(feedStart)
+		r.phases.observe("feed", feedStart)
 	}
 
 	closureStart := time.Now()
@@ -916,7 +981,7 @@ func (e *Engine) attackShard(sh *population.Shard, net *telecom.Network, scr *sc
 		accumulate(plan, scr, part)
 		scr.reset()
 	}
-	phaseHists["closure"].ObserveSince(closureStart)
+	r.phases.observe("closure", closureStart)
 	return part
 }
 

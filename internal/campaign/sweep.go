@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/actfort/actfort/internal/checkpoint"
@@ -22,6 +23,10 @@ type ScenarioResult struct {
 	Scenario Scenario `json:"scenario"`
 	Summary  *Summary `json:"summary,omitempty"`
 	Error    string   `json:"error,omitempty"`
+	// Duration is this scenario's own wall clock. Under a parallel
+	// sweep the sweep's Duration stops being the scenarios' sum, so the
+	// per-scenario cost lives here.
+	Duration time.Duration `json:"duration,omitempty"`
 }
 
 // SweepSummary is the comparative output of RunSweep: one result per
@@ -53,10 +58,21 @@ func (s *SweepSummary) Baseline() *Summary {
 	return nil
 }
 
-// RunSweep executes the scenarios in order against the engine's shared
+// RunSweep executes the scenarios against the engine's shared
 // population, cracker table and rig pool, and returns the comparative
 // summary. A nil or empty list runs DefaultSweep. Scenario names must
 // be unique — the comparative tables key on them.
+//
+// Config.SweepParallel > 1 overlaps that many scenarios, all sharing
+// the one Workers-bounded shard budget; Results stays in input order
+// and every per-scenario Summary is byte-identical (modulo wall-clock
+// fields) to a sequential sweep's, so parallelism only ever changes
+// cost, never results. Environmental failures — a canceled context, an
+// injected crash (treated as process death) or a checkpoint directory
+// whose inputs changed — abort the whole sweep; any other error is
+// scenario-local: it is recorded in that scenario's result row and the
+// rest of the sweep keeps its results, exactly like the sequential
+// semantics.
 func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSummary, error) {
 	if len(scenarios) == 0 {
 		scenarios = DefaultSweep()
@@ -75,33 +91,83 @@ func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSumm
 		norm[i] = n
 	}
 	start := time.Now()
+	rigs0 := e.rigsBuilt.Load()
 	sw := &SweepSummary{
 		Subscribers: int64(e.cfg.Population.Size()),
 		Backend:     e.cracker.Name(),
 		Workers:     e.cfg.Workers,
-		Results:     make([]ScenarioResult, 0, len(norm)),
+		Results:     make([]ScenarioResult, len(norm)),
 	}
-	for _, sc := range norm {
-		dir := ""
-		if e.cfg.Checkpoint != nil {
-			dir = filepath.Join(e.cfg.Checkpoint.Dir, sc.Name)
+	par := e.cfg.SweepParallel
+	if par < 1 {
+		par = 1
+	}
+	if par > len(norm) {
+		par = len(norm)
+	}
+	// runCtx cancels the in-flight scenarios when one fails
+	// environmentally; the launcher stops admitting new ones. sem (not
+	// a fixed worker pool) keeps admission in input order, which with
+	// par == 1 reproduces the sequential execution order exactly.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, par)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		abortIdx = len(norm)
+		abortErr error
+	)
+	for i, sc := range norm {
+		select {
+		case sem <- struct{}{}:
+		case <-runCtx.Done():
 		}
-		sum, err := e.runScenario(ctx, sc, dir)
-		if err != nil {
-			// Environmental failures abort the whole sweep: a canceled
-			// context, an injected crash (treated as process death) or a
-			// checkpoint directory whose inputs changed. Anything else is
-			// scenario-local — record it and keep the sweep's other
-			// results.
-			if ctx.Err() != nil || errors.Is(err, faultinject.ErrCrash) || errors.Is(err, checkpoint.ErrManifestMismatch) {
-				return nil, fmt.Errorf("campaign: scenario %s: %w", sc.Name, err)
+		if runCtx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int, sc Scenario) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dir := ""
+			if e.cfg.Checkpoint != nil {
+				dir = filepath.Join(e.cfg.Checkpoint.Dir, sc.Name)
 			}
-			sw.Results = append(sw.Results, ScenarioResult{Scenario: sc, Error: err.Error()})
-			continue
-		}
-		sw.Results = append(sw.Results, ScenarioResult{Scenario: sc, Summary: sum})
+			scStart := time.Now()
+			sum, err := e.runScenario(runCtx, sc, dir)
+			d := time.Since(scStart)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				sw.Results[i] = ScenarioResult{Scenario: sc, Summary: sum, Duration: d}
+				return
+			}
+			rootCause := ctx.Err() != nil || errors.Is(err, faultinject.ErrCrash) || errors.Is(err, checkpoint.ErrManifestMismatch)
+			if rootCause || runCtx.Err() != nil {
+				// Environmental: abort everything. The reported error is
+				// the lowest-index root cause; scenarios that merely died
+				// of the resulting runCtx cancellation are not causes.
+				if rootCause && i < abortIdx {
+					abortIdx, abortErr = i, fmt.Errorf("campaign: scenario %s: %w", sc.Name, err)
+				}
+				cancel()
+				return
+			}
+			sw.Results[i] = ScenarioResult{Scenario: sc, Error: err.Error(), Duration: d}
+		}(i, sc)
 	}
-	sw.RigsBuilt = e.RigsBuilt()
+	wg.Wait()
+	if abortErr != nil {
+		return nil, abortErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The rig-build count is this sweep's delta, not the engine's
+	// lifetime counter: a second sweep on a warm engine reports the
+	// (near-zero) builds it actually caused.
+	sw.RigsBuilt = e.rigsBuilt.Load() - rigs0
 	sw.Duration = time.Since(start)
 	return sw, nil
 }
@@ -156,11 +222,12 @@ func (s *SweepSummary) Render(services []string, top int) string {
 	cmp := &report.Table{
 		Title: fmt.Sprintf("Takeover mass by scenario (baseline: %q)", baseName),
 		Headers: []string{"scenario", "policy", "targeted", "intercepted",
-			"victims lost", "accounts lost", "Δ accounts vs baseline"},
+			"victims lost", "accounts lost", "Δ accounts vs baseline", "duration"},
 	}
 	for _, r := range s.Results {
+		dur := r.Duration.Round(time.Millisecond).String()
 		if r.Error != "" {
-			cmp.AddRow(r.Scenario.Name, "-", "-", "-", "-", "-", "ERROR: "+r.Error)
+			cmp.AddRow(r.Scenario.Name, "-", "-", "-", "-", "-", "ERROR: "+r.Error, dur)
 			continue
 		}
 		sum := r.Summary
@@ -174,7 +241,7 @@ func (s *SweepSummary) Render(services []string, top int) string {
 		}
 		cmp.AddRow(sum.Scenario, pol, comma(sum.Targeted), comma(sum.Intercepted),
 			fmt.Sprintf("%s (%s)", comma(sum.VictimsCompromised), report.Pct(pct(sum.VictimsCompromised, sum.Subscribers))),
-			comma(sum.AccountsCompromised), d)
+			comma(sum.AccountsCompromised), d, dur)
 	}
 	text += cmp.String() + "\n"
 	if base != nil {

@@ -22,8 +22,9 @@ func sweepEngine(t *testing.T, size, shard, workers int) *Engine {
 func normalizeClock(sw *SweepSummary) {
 	sw.Duration = 0
 	sw.RigsBuilt = 0
-	for _, r := range sw.Results {
-		zeroClock(r.Summary)
+	for i := range sw.Results {
+		sw.Results[i].Duration = 0
+		zeroClock(sw.Results[i].Summary)
 	}
 }
 

@@ -104,6 +104,14 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
 }
 
+// NewLocalHistogram builds a standalone histogram that belongs to no
+// registry: it is never scraped and starts at zero, so a caller that
+// wants per-run timings (several runs may overlap in one process) can
+// observe into its own local set instead of diffing snapshots of the
+// process-lifetime series — snapshot diffs silently mix concurrent
+// runs together.
+func NewLocalHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	// Linear scan: bucket counts are small (≤ ~20) and the scan is

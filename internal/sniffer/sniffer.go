@@ -29,6 +29,7 @@ import (
 
 	"github.com/actfort/actfort/internal/a51"
 	"github.com/actfort/actfort/internal/gsmcodec"
+	"github.com/actfort/actfort/internal/obs"
 	"github.com/actfort/actfort/internal/slab"
 	"github.com/actfort/actfort/internal/telecom"
 )
@@ -164,6 +165,13 @@ type Sniffer struct {
 	lastMsg  gsmcodec.Deliver
 	lastErr  error
 	haveTPDU bool
+	// crackObs, when non-nil, additionally receives every batched-crack
+	// duration the rig observes into the process-wide
+	// sniffer_crack_batch_seconds series. Campaign runs park their
+	// run-local crack histogram here for the duration of a rig
+	// checkout, so concurrent scenarios each report only their own
+	// crack timings.
+	crackObs *obs.Histogram
 }
 
 // subKcKey identifies one subscriber authentication context.
@@ -472,6 +480,7 @@ func (s *Sniffer) prefetchCracks(fs *feedScratch) {
 	}
 	var plain [telecom.PagingPlaintextLen]byte
 	s.mu.Lock()
+	crackObs := s.crackObs
 	for _, sess := range fs.completed {
 		fs.crackOf = append(fs.crackOf, -1)
 		paging, ok := sess.bursts[0]
@@ -516,6 +525,9 @@ func (s *Sniffer) prefetchCracks(fs *feedScratch) {
 	start := time.Now()
 	fs.keys, fs.errs = a51.RecoverAll(context.Background(), bc, fs.samples, s.net.KeySpace())
 	metCrackBatch.ObserveSince(start)
+	if crackObs != nil {
+		crackObs.ObserveSince(start)
+	}
 	// Per-capture CrackTime is the amortized share of the batch — the
 	// honest per-message cost of an amortized engine.
 	fs.share = time.Since(start) / time.Duration(len(fs.samples))
@@ -762,6 +774,18 @@ func (s *Sniffer) Reset() {
 	s.stats = Stats{}
 	s.kcCache = make(map[uint32]uint64)
 	s.subKc = make(map[subKcKey]uint64)
+}
+
+// SetCrackObserver installs (or, with nil, removes) an extra histogram
+// that receives every batched-crack duration alongside the registry's
+// sniffer_crack_batch_seconds series. The campaign engine points it at
+// the checking-out run's local crack histogram and clears it on rig
+// release, which is what keeps per-run crack timings correct when
+// scenarios overlap on one process.
+func (s *Sniffer) SetCrackObserver(h *obs.Histogram) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crackObs = h
 }
 
 // Captures returns a copy of recorded (filter-matching) messages.
