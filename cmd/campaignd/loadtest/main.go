@@ -1,0 +1,141 @@
+// Command loadtest drives a running campaignd with a deterministic
+// weighted request mix and reports latency quantiles, throughput and
+// error rate as JSON — the Go-native replacement for an external load
+// tool, built on internal/loadgen (whose histogram machinery matches
+// the server's own /metrics buckets). It produces the numbers in
+// docs/BENCHMARKS.md's service-latency tables and the report the CI
+// load-smoke job gates with jq.
+//
+// Usage:
+//
+//	loadtest -url http://127.0.0.1:8080                  # mixed mix, 200 requests
+//	loadtest -mix scenario -requests 500 -concurrency 16
+//	loadtest -mix sweep -requests 50
+//	loadtest -wait 120s                                  # block on /v1/readyz first
+//
+// Mixes:
+//
+//	scenario  baseline and fortified single-scenario queries (1:1)
+//	sweep     two-scenario comparative sweep queries
+//	mixed     scenario:sweep at 4:1 — the sizing-guide "interactive
+//	          queries with periodic comparative jobs" profile
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/actfort/actfort/internal/campaign"
+	"github.com/actfort/actfort/internal/loadgen"
+	"github.com/actfort/actfort/internal/report"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "campaignd base URL")
+		mix         = flag.String("mix", "mixed", "request mix: scenario, sweep or mixed")
+		requests    = flag.Int("requests", 200, "total requests to issue")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		wait        = flag.Duration("wait", 0, "poll /v1/readyz up to this long before starting (0 = don't wait)")
+		out         = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*url, *mix, *requests, *concurrency, *wait, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+// targets builds the named request mix from the same scenario shapes
+// the BENCHMARKS methodology pins.
+func targets(mix string) ([]loadgen.Target, error) {
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // plain-data scenario structs always marshal
+		}
+		return b
+	}
+	baseline := mustJSON(campaign.Scenario{Name: "baseline"})
+	fortified := mustJSON(campaign.Scenario{Name: "fortified", Policy: "fortify-all"})
+	sweep := mustJSON([]campaign.Scenario{
+		{Name: "baseline"},
+		{Name: "fortified", Policy: "fortify-all"},
+	})
+	scenarioTargets := []loadgen.Target{
+		{Name: "scenario:baseline", Path: "/v1/scenario", Body: baseline, Weight: 1},
+		{Name: "scenario:fortified", Path: "/v1/scenario", Body: fortified, Weight: 1},
+	}
+	sweepTarget := loadgen.Target{Name: "sweep:baseline-vs-fortified", Path: "/v1/sweep", Body: sweep, Weight: 1}
+	switch mix {
+	case "scenario":
+		return scenarioTargets, nil
+	case "sweep":
+		return []loadgen.Target{sweepTarget}, nil
+	case "mixed":
+		mixed := []loadgen.Target{
+			{Name: "scenario:baseline", Path: "/v1/scenario", Body: baseline, Weight: 2},
+			{Name: "scenario:fortified", Path: "/v1/scenario", Body: fortified, Weight: 2},
+			sweepTarget,
+		}
+		return mixed, nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q (want scenario, sweep or mixed)", mix)
+	}
+}
+
+// waitReady polls /v1/readyz until it answers 200 or the deadline
+// passes — engine warm-up on a large population takes a while, and a
+// load run against a warming server would measure 503s, not latency.
+func waitReady(url string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := http.Get(url + "/v1/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", url, d)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func run(url, mix string, requests, concurrency int, wait time.Duration, out string) error {
+	tgts, err := targets(mix)
+	if err != nil {
+		return err
+	}
+	if wait > 0 {
+		if err := waitReady(url, wait); err != nil {
+			return err
+		}
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     url,
+		Targets:     tgts,
+		Requests:    requests,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.WriteJSON(w, rep)
+}

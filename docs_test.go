@@ -25,6 +25,7 @@ var docFiles = []string{
 	"docs/BENCHMARKS.md",
 	"docs/OBSERVABILITY.md",
 	"cmd/campaign/README.md",
+	"cmd/campaignd/README.md",
 }
 
 // mdLink matches [text](target) markdown links.
@@ -70,6 +71,9 @@ var documentedPackages = []string{
 	"internal/population",
 	"internal/countermeasure",
 	"internal/obs",
+	"internal/server",
+	"internal/ratelimit",
+	"internal/loadgen",
 }
 
 // TestDocsExportedComments fails on exported identifiers missing doc

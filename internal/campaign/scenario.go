@@ -206,6 +206,55 @@ func (sc Scenario) normalize(idx int) (Scenario, error) {
 	return sc, nil
 }
 
+// Normalized returns the scenario with every default filled and every
+// enumerated field validated — exactly the normalization RunScenario
+// applies before executing, exported so the query service can surface
+// validation failures as structured 400s before a run is admitted.
+//
+// Normalization is deliberately NOT idempotent: the scenario-JSON
+// zero-value convention (0 = paper default, negative = none) means a
+// normalized RadioEnv whose ReauthSkip resolved to "none" (0) would
+// resolve to the 0.6 default if normalized again. Callers therefore
+// validate with Normalized but hand the ORIGINAL scenario to
+// RunScenario/RunSweep, which normalize exactly once themselves.
+func (sc Scenario) Normalized() (Scenario, error) {
+	return sc.normalize(0)
+}
+
+// NormalizeSweep validates a sweep's scenario list the way RunSweep
+// does — per-scenario normalization plus the unique-name check the
+// comparative tables key on — and returns the normalized list. Like
+// Normalized, the result is for inspection and error surfacing, not
+// for feeding back into RunSweep (normalization is not idempotent; see
+// Normalized). An empty list is an error here: the DefaultSweep
+// substitution is RunSweep's own convenience, not part of validation.
+func NormalizeSweep(scenarios []Scenario) ([]Scenario, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: sweep holds no scenarios")
+	}
+	return normalizeSweepList(scenarios)
+}
+
+// normalizeSweepList is the shared validation loop behind RunSweep and
+// NormalizeSweep: normalize each scenario under its index and reject
+// duplicate names.
+func normalizeSweepList(scenarios []Scenario) ([]Scenario, error) {
+	seen := make(map[string]bool, len(scenarios))
+	norm := make([]Scenario, len(scenarios))
+	for i, sc := range scenarios {
+		n, err := sc.normalize(i)
+		if err != nil {
+			return nil, err
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("campaign: duplicate scenario name %q in sweep", n.Name)
+		}
+		seen[n.Name] = true
+		norm[i] = n
+	}
+	return norm, nil
+}
+
 // platforms resolves the platform restriction (normalize ran first).
 func (sc Scenario) platforms() []ecosys.Platform {
 	switch sc.Platform {

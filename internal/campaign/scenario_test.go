@@ -76,3 +76,37 @@ func TestDeltaRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestNormalizedExportedSurface pins the validation surface the query
+// service leans on: Normalized applies the same defaults and rejections
+// as the internal normalize, and NormalizeSweep enforces unique names
+// and non-empty lists.
+func TestNormalizedExportedSurface(t *testing.T) {
+	norm, err := (Scenario{}).Normalized()
+	if err != nil {
+		t.Fatalf("zero scenario: %v", err)
+	}
+	if norm.Platform != "both" || norm.Radio.OTPSessions != 3 || norm.Radio.ReauthSkip != 0.6 {
+		t.Fatalf("defaults not applied: %+v", norm)
+	}
+	if _, err := (Scenario{Radio: RadioEnv{ReauthSkip: 5}}).Normalized(); err == nil {
+		t.Fatal("reauthSkip 5 accepted")
+	}
+	if _, err := (Scenario{Platform: "fax"}).Normalized(); err == nil {
+		t.Fatal("platform fax accepted")
+	}
+
+	if _, err := NormalizeSweep(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := NormalizeSweep([]Scenario{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	list, err := NormalizeSweep([]Scenario{{}, {Name: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list[0].Name != "scenario-0" || list[1].Name != "x" {
+		t.Fatalf("index naming wrong: %q, %q", list[0].Name, list[1].Name)
+	}
+}

@@ -77,18 +77,9 @@ func (e *Engine) RunSweep(ctx context.Context, scenarios []Scenario) (*SweepSumm
 	if len(scenarios) == 0 {
 		scenarios = DefaultSweep()
 	}
-	seen := make(map[string]bool, len(scenarios))
-	norm := make([]Scenario, len(scenarios))
-	for i, sc := range scenarios {
-		n, err := sc.normalize(i)
-		if err != nil {
-			return nil, err
-		}
-		if seen[n.Name] {
-			return nil, fmt.Errorf("campaign: duplicate scenario name %q in sweep", n.Name)
-		}
-		seen[n.Name] = true
-		norm[i] = n
+	norm, err := normalizeSweepList(scenarios)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	rigs0 := e.rigsBuilt.Load()

@@ -1,0 +1,272 @@
+// Package loadgen is the Go-native load harness for the campaignd
+// query service: a fixed-size batch of HTTP requests drawn from a
+// deterministic weighted target mix, driven by a bounded worker pool,
+// with latencies folded through the same obs histogram machinery the
+// server exports — so the p50/p90/p99 in a load report and the
+// quantiles on the service's own /metrics come from one bucket ladder
+// and stay comparable. The docs/BENCHMARKS.md service-latency tables
+// and the CI load-smoke gate both consume its JSON Report.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/actfort/actfort/internal/obs"
+)
+
+// LatencyBuckets is the report's histogram ladder: 100µs growing by
+// 1.25× over 60 buckets to ~66s. The server's own
+// campaignd_request_seconds keeps the conventional coarse doubling
+// ladder (it lives on a Prometheus scrape, where series count
+// matters); the report ladder is finer because a benchmark table
+// quoting p99 from a bucket twice as wide as the value would be
+// mostly quoting the ladder.
+var LatencyBuckets = obs.ExpBuckets(100e-6, 1.25, 60)
+
+// Target is one entry in the request mix.
+type Target struct {
+	// Name labels the target in the per-target report breakdown.
+	Name string
+	// Path is the request path ("/v1/scenario", "/v1/sweep").
+	Path string
+	// Body is the JSON request body POSTed on every hit.
+	Body []byte
+	// Weight is the target's relative frequency in the mix (<= 0 is
+	// normalized to 1).
+	Weight int
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Targets is the weighted request mix (required, non-empty).
+	Targets []Target
+	// Requests is the total request count across all targets (0 = 100).
+	Requests int
+	// Concurrency is the worker-pool width (0 = 4).
+	Concurrency int
+	// Client overrides the HTTP client (nil = a dedicated client with
+	// no global timeout — per-request deadlines belong to the server
+	// under test, and a client-side cap would censor exactly the tail
+	// the report exists to measure).
+	Client *http.Client
+}
+
+// TargetStats is one target's slice of the report.
+type TargetStats struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"` // 2xx responses
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+}
+
+// Report is the load run's result — the JSON the BENCHMARKS tables and
+// the CI jq gates read. Quantiles cover successful (2xx) requests
+// only: a 429 shed in microseconds is admission control working, and
+// folding it into the latency distribution would flatter the tail.
+type Report struct {
+	// Requests is the number attempted; Errors counts transport-level
+	// failures (no HTTP response at all).
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Codes histograms the HTTP status codes received, keyed by the
+	// decimal code string ("200", "429", ...).
+	Codes map[string]int `json:"codes"`
+	// ErrorRate is the fraction of attempts that failed: transport
+	// errors plus any 5xx response.
+	ErrorRate float64 `json:"errorRate"`
+	// Duration is the whole run's wall clock; ThroughputRPS the
+	// attempted-request rate over it.
+	DurationMs    float64 `json:"durationMs"`
+	ThroughputRPS float64 `json:"throughputRPS"`
+	// Latency quantiles over 2xx responses, in milliseconds.
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+	// PerTarget breaks the run down by mix entry.
+	PerTarget map[string]*TargetStats `json:"perTarget"`
+}
+
+// schedule expands the weighted mix into a repeating target-index
+// pattern, so the request sequence is a pure function of (Targets,
+// Requests) — two runs of the same config issue the same requests in
+// the same interleaving (modulo worker scheduling), and a report diff
+// measures the server, not the generator's dice.
+func schedule(targets []Target) []int {
+	var pat []int
+	for i, t := range targets {
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for k := 0; k < w; k++ {
+			pat = append(pat, i)
+		}
+	}
+	return pat
+}
+
+// Run executes the batch and returns the report. Workers pull request
+// indices from a shared counter until Requests are issued or ctx dies;
+// a canceled run reports what it measured with an error alongside.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	pat := schedule(cfg.Targets)
+
+	// One local histogram per target plus codes/errors under a mutex:
+	// the request path itself stays lock-free (obs.Histogram is CAS),
+	// only the cheap counters share the lock.
+	hists := make([]*obs.Histogram, len(cfg.Targets))
+	for i := range hists {
+		hists[i] = obs.NewLocalHistogram(LatencyBuckets)
+	}
+	var (
+		mu       sync.Mutex
+		codes    = make(map[string]int)
+		byTarget = make([]TargetStats, len(cfg.Targets))
+		errorsN  int
+		maxSec   = make([]float64, len(cfg.Targets))
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				ti := pat[n%len(pat)]
+				tgt := &cfg.Targets[ti]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.BaseURL+tgt.Path, bytes.NewReader(tgt.Body))
+				if err != nil {
+					mu.Lock()
+					errorsN++
+					byTarget[ti].Requests++
+					mu.Unlock()
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				el := time.Since(t0).Seconds()
+				mu.Lock()
+				byTarget[ti].Requests++
+				if err != nil {
+					errorsN++
+					mu.Unlock()
+					continue
+				}
+				codes[fmt.Sprintf("%d", resp.StatusCode)]++
+				ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+				if ok {
+					byTarget[ti].OK++
+					if el > maxSec[ti] {
+						maxSec[ti] = el
+					}
+				}
+				mu.Unlock()
+				if ok {
+					hists[ti].Observe(el)
+				}
+				// Drain so the connection is reusable; the body content is
+				// the server's business, not the harness's.
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	maxAll := 0.0
+	for _, m := range maxSec {
+		if m > maxAll {
+			maxAll = m
+		}
+	}
+	rep := &Report{
+		Requests:      cfg.Requests,
+		Errors:        errorsN,
+		Codes:         codes,
+		DurationMs:    float64(dur.Microseconds()) / 1e3,
+		ThroughputRPS: float64(cfg.Requests) / dur.Seconds(),
+		MaxMs:         maxAll * 1e3,
+		PerTarget:     make(map[string]*TargetStats, len(cfg.Targets)),
+	}
+	failed := errorsN
+	for code, n := range codes {
+		if len(code) > 0 && code[0] == '5' {
+			failed += n
+		}
+	}
+	rep.ErrorRate = float64(failed) / float64(cfg.Requests)
+
+	// Per-target quantiles straight off each histogram; the overall
+	// quantiles come from a bucket-wise merged snapshot — every target
+	// shares LatencyBuckets, so bucket i sums across targets. Each
+	// estimate is clamped to the exact observed maximum: bucket
+	// interpolation can otherwise quote a quantile above a max no
+	// request ever reached.
+	merged := obs.HistSnapshot{Bounds: LatencyBuckets,
+		Counts: make([]int64, len(LatencyBuckets)+1)}
+	for i, h := range hists {
+		snap := h.Snapshot()
+		st := byTarget[i]
+		st.P50Ms = quantileMs(snap, 0.5, maxSec[i])
+		st.P99Ms = quantileMs(snap, 0.99, maxSec[i])
+		rep.PerTarget[cfg.Targets[i].Name] = &st
+		for b, c := range snap.Counts {
+			merged.Counts[b] += c
+		}
+		merged.Count += snap.Count
+		merged.Sum += snap.Sum
+	}
+	rep.P50Ms = quantileMs(merged, 0.5, maxAll)
+	rep.P90Ms = quantileMs(merged, 0.9, maxAll)
+	rep.P99Ms = quantileMs(merged, 0.99, maxAll)
+
+	if ctx.Err() != nil {
+		return rep, fmt.Errorf("loadgen: run canceled after %d requests: %w", int(next.Load()), ctx.Err())
+	}
+	return rep, nil
+}
+
+// quantileMs renders a snapshot quantile in milliseconds, clamped to
+// the exact observed maximum maxSec and mapping the empty-histogram
+// NaN to 0 so the report always marshals to valid JSON (encoding/json
+// rejects NaN).
+func quantileMs(s obs.HistSnapshot, q, maxSec float64) float64 {
+	v := s.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	if maxSec > 0 && v > maxSec {
+		v = maxSec
+	}
+	return v * 1e3
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedule pins the deterministic weighted expansion the report's
+// reproducibility rests on.
+func TestSchedule(t *testing.T) {
+	got := schedule([]Target{{Weight: 2}, {Weight: 0}, {Weight: 3}})
+	want := []int{0, 0, 1, 2, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule = %v, want %v", got, want)
+	}
+}
+
+// TestRunReport drives the harness against a stub server and checks
+// the report's accounting: per-target request split follows the
+// weights, codes bucket correctly, 5xx feeds the error rate, and
+// quantiles land in the latency neighborhood the stub imposes.
+func TestRunReport(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			time.Sleep(2 * time.Millisecond)
+			w.WriteHeader(http.StatusOK)
+		case "/shed":
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/boom":
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Targets: []Target{
+			{Name: "ok", Path: "/ok", Weight: 2},
+			{Name: "shed", Path: "/shed", Weight: 1},
+			{Name: "boom", Path: "/boom", Weight: 1},
+		},
+		Requests:    40,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 40 {
+		t.Fatalf("server saw %d requests, want 40", got)
+	}
+	if rep.Codes["200"] != 20 || rep.Codes["429"] != 10 || rep.Codes["500"] != 10 {
+		t.Fatalf("codes = %v, want 20/10/10 across 200/429/500", rep.Codes)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("transport errors = %d", rep.Errors)
+	}
+	// 10 of 40 were 5xx; 429s are shed load, not failures.
+	if rep.ErrorRate != 0.25 {
+		t.Fatalf("errorRate = %v, want 0.25", rep.ErrorRate)
+	}
+	if rep.PerTarget["ok"].Requests != 20 || rep.PerTarget["ok"].OK != 20 {
+		t.Fatalf("ok target stats = %+v", rep.PerTarget["ok"])
+	}
+	if rep.PerTarget["shed"].OK != 0 || rep.PerTarget["boom"].OK != 0 {
+		t.Fatalf("non-2xx targets recorded OK hits: %+v", rep.PerTarget)
+	}
+	// Quantiles cover 2xx only; the stub sleeps 2ms, so p50 must be at
+	// least the sleep and well under a second.
+	if rep.P50Ms < 2 || rep.P50Ms > 1000 {
+		t.Fatalf("p50Ms = %v, want within [2, 1000)", rep.P50Ms)
+	}
+	if rep.P99Ms < rep.P50Ms {
+		t.Fatalf("p99 %v below p50 %v", rep.P99Ms, rep.P50Ms)
+	}
+	if rep.ThroughputRPS <= 0 || rep.DurationMs <= 0 {
+		t.Fatalf("throughput/duration not recorded: %+v", rep)
+	}
+}
+
+// TestRunCancel checks a canceled context stops the batch early and
+// reports the cancellation.
+func TestRunCancel(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := Run(ctx, Config{
+		BaseURL:     ts.URL,
+		Targets:     []Target{{Name: "hang", Path: "/", Weight: 1}},
+		Requests:    1000,
+		Concurrency: 2,
+	})
+	if err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	if rep == nil || rep.Codes["200"] != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -23,7 +24,8 @@ func (r *Registry) Handler() http.Handler {
 // NewMux builds the diagnostics mux: /metrics (Prometheus text),
 // /debug/vars (expvar, including the registry bridge if published) and
 // the full /debug/pprof tree. It is a plain ServeMux so callers can add
-// their own routes before serving.
+// their own routes before serving — cmd/campaignd multiplexes its /v1
+// query API onto exactly this mux.
 func (r *Registry) NewMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
@@ -36,38 +38,100 @@ func (r *Registry) NewMux() *http.ServeMux {
 	return mux
 }
 
-// StartServer listens on addr and serves the diagnostics mux until ctx
-// is canceled, then shuts down. It returns the bound address (useful
-// with ":0") and a stop function that blocks until the server has
-// exited; the listen itself is synchronous so a bad addr fails fast
-// instead of surfacing mid-run.
-func (r *Registry) StartServer(ctx context.Context, addr string) (string, func(), error) {
+// Server is a running HTTP server with an explicit shutdown handle.
+// The old StartServer API returned only an anonymous stop func, so
+// callers that needed to stop the listener from several paths (a test
+// cleanup AND a signal handler) either leaked the listener or raced a
+// double close; Close is idempotent and safe from any goroutine.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	// ShutdownTimeout bounds the graceful drain Close performs before
+	// abandoning in-flight requests (0 = 2s, the diagnostics default).
+	// A query server draining long-running scenario requests raises it
+	// before Close.
+	ShutdownTimeout time.Duration
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close gracefully shuts the server down: it stops accepting
+// connections, waits up to ShutdownTimeout for in-flight requests,
+// then forces the rest closed, and blocks until the serve loop has
+// exited. Close is idempotent — every call after the first returns the
+// first call's error without re-running shutdown.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		d := s.ShutdownTimeout
+		if d <= 0 {
+			d = 2 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Drain timeout: force-close whatever is still in flight so
+			// the serve loop exits and the listener is really released.
+			_ = s.srv.Close()
+		}
+		<-s.done
+		s.closeErr = err
+	})
+	return s.closeErr
+}
+
+// Serve listens on addr and serves handler (nil = the registry's
+// diagnostics mux) until Close is called or ctx is canceled. The
+// listen itself is synchronous so a bad addr fails fast instead of
+// surfacing mid-run; the returned Server exposes the bound address and
+// the idempotent shutdown handle.
+func (r *Registry) Serve(ctx context.Context, addr string, handler http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: r.NewMux()}
-	done := make(chan struct{})
+	if handler == nil {
+		handler = r.NewMux()
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: handler},
+		done: make(chan struct{}),
+	}
 	go func() {
-		defer close(done)
+		defer close(s.done)
 		// ErrServerClosed is the normal shutdown path; a real serve error
-		// has nowhere to go but the metrics endpoint dying, which the run
-		// must survive.
-		_ = srv.Serve(ln)
+		// has nowhere to go but the diagnostics endpoint dying, which the
+		// run must survive.
+		_ = s.srv.Serve(ln)
 	}()
-	stopped := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-stopped:
-		}
-		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shCtx)
-	}()
-	stop := func() {
-		close(stopped)
-		<-done
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+			}
+		}()
 	}
-	return ln.Addr().String(), stop, nil
+	return s, nil
+}
+
+// StartServer listens on addr and serves the diagnostics mux until ctx
+// is canceled, then shuts down. It returns the bound address (useful
+// with ":0") and an idempotent stop function that blocks until the
+// server has exited. New code should prefer Serve, whose *Server
+// handle the stop function wraps.
+func (r *Registry) StartServer(ctx context.Context, addr string) (string, func(), error) {
+	s, err := r.Serve(ctx, addr, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	return s.Addr(), func() { _ = s.Close() }, nil
 }

@@ -222,13 +222,12 @@ func TestConcurrentScrape(t *testing.T) {
 func TestHTTPServer(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("hits_total", "").Add(3)
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	addr, stop, err := r.StartServer(ctx, "127.0.0.1:0")
+	srv, err := r.Serve(context.Background(), "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
+	defer srv.Close()
+	addr := srv.Addr()
 
 	get := func(path string) (int, string) {
 		resp, err := http.Get("http://" + addr + path)
@@ -362,14 +361,12 @@ func TestPublishExpvar(t *testing.T) {
 	h := r.NewHistogram("pe_lat", "", []float64{1, 2})
 	h.Observe(1.5)
 	r.PublishExpvar("obs_test_registry")
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	addr, stop, err := r.StartServer(ctx, "127.0.0.1:0")
+	srv, err := r.Serve(context.Background(), "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
-	resp, err := http.Get("http://" + addr + "/debug/vars")
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,5 +385,55 @@ func TestPublishExpvar(t *testing.T) {
 	hist, ok := bridge["pe_lat"].(map[string]any)
 	if !ok || hist["count"].(float64) != 1 {
 		t.Errorf("bridge histogram = %v", bridge["pe_lat"])
+	}
+}
+
+// TestServerCloseReleasesListener is the lifecycle regression test:
+// the old StartServer stop func could only be called once (a second
+// call panicked on a closed channel), so tests with several cleanup
+// paths leaked the listener instead. Close must be idempotent and must
+// actually release the port.
+func TestServerCloseReleasesListener(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve(context.Background(), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if resp, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("GET before close: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The port must be free again: rebinding the exact address succeeds
+	// only if the first listener is really gone.
+	srv2, err := r.Serve(context.Background(), addr, nil)
+	if err != nil {
+		t.Fatalf("rebind %s after Close: %v", addr, err)
+	}
+	defer srv2.Close()
+	// And a canceled context must shut the server down without any
+	// explicit Close.
+	ctx, cancel := context.WithCancel(context.Background())
+	srv3, err := r.Serve(ctx, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get("http://" + srv3.Addr() + "/metrics"); err != nil {
+			break // listener gone
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

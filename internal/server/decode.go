@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/actfort/actfort/internal/campaign"
+	"github.com/actfort/actfort/internal/report"
+)
+
+// DecodeScenario reads one campaign.Scenario JSON object — the
+// /v1/scenario wire format. Unknown fields and trailing data are
+// rejected, matching the strictness of the scenario-file loader, so a
+// typoed knob fails loudly instead of silently running the default.
+// Exported (with DecodeSweep) as the fuzzing surface for the request
+// decoders.
+func DecodeScenario(r io.Reader) (campaign.Scenario, error) {
+	var sc campaign.Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return campaign.Scenario{}, fmt.Errorf("server: decode scenario: %w", err)
+	}
+	if err := expectEOF(dec); err != nil {
+		return campaign.Scenario{}, err
+	}
+	return sc, nil
+}
+
+// DecodeSweep reads a JSON array of scenarios — the /v1/sweep wire
+// format, identical to the scenario files cmd/campaign -scenarios
+// loads, so a file that works offline works against the service
+// unchanged. The list must be non-empty: an explicit request for
+// nothing is a client bug, unlike the engine's nil-means-DefaultSweep
+// convenience.
+func DecodeSweep(r io.Reader) ([]campaign.Scenario, error) {
+	var list []campaign.Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&list); err != nil {
+		return nil, fmt.Errorf("server: decode sweep: %w", err)
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("server: sweep request holds no scenarios")
+	}
+	if err := expectEOF(dec); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// expectEOF rejects bytes after the decoded value — "{}garbage" is a
+// malformed request, not a scenario plus noise.
+func expectEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("server: trailing data after JSON value")
+	}
+	return nil
+}
+
+// errorBody is the structured error envelope every non-2xx response
+// carries.
+type errorBody struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// writeError answers with the structured JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Status: status, Error: msg})
+}
+
+// writeJSON answers 200 with v rendered by the same report.WriteJSON
+// the offline CLI uses, so a service response diffs byte-for-byte
+// against batch output (modulo wall-clock fields).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	report.WriteJSON(w, v)
+}
